@@ -1,0 +1,57 @@
+"""Design-choice ablations (DESIGN.md §5): the benchmarks behind the
+paper's one-line justifications."""
+
+from repro.experiments.ablations import (
+    compensation_ablation,
+    suspension_ablation,
+    sweep_alpha,
+    sweep_buffering,
+)
+
+
+def test_alpha_half_is_the_sweet_spot(benchmark):
+    """§3.3: 'α is empirically chosen as 0.5 according to our benchmarks'."""
+    errors = benchmark.pedantic(sweep_alpha, rounds=1, iterations=1)
+    benchmark.extra_info["rms_error_by_alpha"] = {
+        str(a): round(e, 3) for a, e in errors.items()
+    }
+    best = min(errors, key=errors.get)
+    assert best == 0.5
+    # extremes are clearly worse than the middle
+    assert errors[0.1] > errors[0.5]
+    assert errors[0.9] > errors[0.5]
+
+
+def test_compensation_keeps_reads_unblocked(benchmark):
+    """Figure 8: with the driver's time-delta blocking, the next SVM
+    access never observes the prefetch; without it, reads block."""
+    results = benchmark.pedantic(compensation_ablation, rounds=1, iterations=1)
+    with_comp = results[True].mean_read_latency_ms
+    without = results[False].mean_read_latency_ms
+    benchmark.extra_info["read_latency_with_ms"] = round(with_comp, 3)
+    benchmark.extra_info["read_latency_without_ms"] = round(without, 3)
+    assert with_comp < 0.5
+    assert without > 2.0 * with_comp
+
+
+def test_suspension_avoids_bandwidth_waste(benchmark):
+    """§3.3: three consecutive failures suspend prefetch 'to avoid
+    bandwidth waste' — measure exactly that waste."""
+    results = benchmark.pedantic(suspension_ablation, rounds=1, iterations=1)
+    with_policy = results[3]
+    without = results[10**9]
+    benchmark.extra_info["wasted_with_policy"] = with_policy.wasted_prefetches
+    benchmark.extra_info["wasted_without"] = without.wasted_prefetches
+    assert with_policy.wasted_prefetches < 0.5 * without.wasted_prefetches
+
+
+def test_buffering_stretches_slack(benchmark):
+    """§2.3 / Figure 6: buffered pipelines show >30 ms slacks, unbuffered
+    stay under ~20 ms."""
+    slacks = benchmark.pedantic(sweep_buffering, rounds=1, iterations=1)
+    benchmark.extra_info["mean_slack_by_depth"] = {
+        str(d): round(s, 1) for d, s in slacks.items()
+    }
+    assert slacks[1] < 30.0
+    assert slacks[4] > 30.0
+    assert slacks[1] < slacks[2] < slacks[4]

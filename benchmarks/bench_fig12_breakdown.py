@@ -1,0 +1,27 @@
+"""Figure 12 — FPS breakdown: full vSoC vs no-prefetch vs no-fence (§5.4)."""
+
+from repro.experiments.breakdown import run_fig12
+
+
+def test_fig12_ablations(benchmark, bench_duration, bench_apps_per_category):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs=dict(duration_ms=bench_duration,
+                    apps_per_category=bench_apps_per_category),
+        rounds=1, iterations=1,
+    )
+    no_prefetch_drop = result.drop_percent("no-prefetch")
+    no_fence_drop = result.drop_percent("no-fence")
+    benchmark.extra_info["no_prefetch_drop_pct"] = round(no_prefetch_drop, 1)
+    benchmark.extra_info["no_fence_drop_pct"] = round(no_fence_drop, 1)
+
+    # Paper: prefetch off -> -30% average; fence off -> -11%.
+    assert 15.0 < no_prefetch_drop < 50.0
+    assert 0.0 < no_fence_drop < 20.0
+    assert no_prefetch_drop > no_fence_drop
+
+    # Video is hit hardest by the prefetch ablation (paper: -66%).
+    video = result.category_fps["UHD Video"]
+    video_drop = 100.0 * (1.0 - video["no-prefetch"] / video["vSoC"])
+    benchmark.extra_info["video_drop_pct"] = round(video_drop, 1)
+    assert video_drop > 35.0

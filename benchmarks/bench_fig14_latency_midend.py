@@ -1,0 +1,44 @@
+"""Figure 14 — motion-to-photon latency on the middle-end laptop (§5.3).
+
+Also checks the paper's camera observation: the laptop's integrated camera
+makes camera/AR latency ~10 ms *lower* than on the high-end desktop with
+its USB camera.
+"""
+
+from repro.experiments.appbench import run_fig10
+from repro.hw.machine import HIGH_END_DESKTOP, MIDDLE_END_LAPTOP
+
+
+def test_fig14_latency_middle_end(benchmark, bench_duration, bench_apps_per_category):
+    results = benchmark.pedantic(
+        run_fig10,
+        args=(MIDDLE_END_LAPTOP, bench_duration, bench_apps_per_category),
+        kwargs=dict(emulators=("vSoC", "GAE", "QEMU-KVM")),
+        rounds=1, iterations=1,
+    )
+    latencies = {name: r.mean_latency for name, r in results.items() if r.mean_latency}
+    for name, value in latencies.items():
+        benchmark.extra_info[f"{name}_latency_ms"] = round(value, 1)
+    vsoc = latencies["vSoC"]
+    for name, value in latencies.items():
+        if name != "vSoC":
+            assert vsoc < value  # paper: 33%-61% lower
+
+
+def test_fig14_integrated_camera_advantage(benchmark, bench_duration,
+                                           bench_apps_per_category):
+    """Camera-category latency is lower on the laptop despite the weaker
+    machine, because its integrated camera's capture path is ~10 ms
+    faster than the desktop's USB camera (§5.3)."""
+
+    def run_both_machines():
+        high = run_fig10(HIGH_END_DESKTOP, bench_duration, bench_apps_per_category,
+                         emulators=("vSoC",))
+        mid = run_fig10(MIDDLE_END_LAPTOP, bench_duration, bench_apps_per_category,
+                        emulators=("vSoC",))
+        return high["vSoC"], mid["vSoC"]
+
+    high, mid = benchmark.pedantic(run_both_machines, rounds=1, iterations=1)
+    gap = high.category_latency["Camera"] - mid.category_latency["Camera"]
+    benchmark.extra_info["camera_latency_gap_ms"] = round(gap, 1)
+    assert 5.0 < gap < 15.0  # paper: ~10 ms (8 ms averaged over camera+AR)

@@ -1,0 +1,36 @@
+"""Figure 15 — FPS of the top-25 popular apps on the high-end PC (§5.5)."""
+
+from repro.experiments.popular import pairwise_improvement, run_fig15
+
+
+def test_fig15_popular_apps(benchmark, bench_duration):
+    results = benchmark.pedantic(
+        run_fig15, kwargs=dict(duration_ms=bench_duration), rounds=1, iterations=1
+    )
+    means = {name: r.mean_fps for name, r in results.items()}
+    for name, mean in means.items():
+        benchmark.extra_info[f"{name}_fps"] = round(mean, 1)
+
+    # Paper Fig 15 shape: vSoC best; GAE among the worst baselines (its
+    # runnable set skews heavy); Trinity the best baseline.
+    assert means["vSoC"] == max(means.values())
+    bottom_two = sorted(means, key=means.get)[:2]
+    assert "GAE" in bottom_two
+    assert means["Trinity"] == max(v for k, v in means.items() if k != "vSoC")
+
+    # Paper: 12%-49% pairwise improvement band (moderate, unlike the
+    # 82%-797% of the emerging apps). Allow a wider but still-moderate band.
+    for name in results:
+        if name == "vSoC":
+            continue
+        gain = pairwise_improvement(results, name)
+        benchmark.extra_info[f"gain_vs_{name}_pct"] = round(gain, 1)
+        assert 5.0 < gain < 70.0
+
+    # Runnable counts (paper: 25/21/17/25/24/24).
+    counts = {name: r.runnable for name, r in results.items()}
+    benchmark.extra_info["runnable"] = counts
+    assert counts == {
+        "vSoC": 25, "GAE": 21, "QEMU-KVM": 17,
+        "LDPlayer": 25, "Bluestacks": 24, "Trinity": 24,
+    }

@@ -1,0 +1,27 @@
+"""Figure 5 — coherence time cost of the two baseline emulators (§2.3)."""
+
+from repro.experiments.measurement import run_measurement
+
+
+def test_fig5_coherence_cdf(benchmark, bench_duration, bench_apps_per_category):
+    def run_both():
+        return {
+            platform: run_measurement(
+                platform,
+                duration_ms=bench_duration,
+                apps_per_category=bench_apps_per_category,
+            )
+            for platform in ("GAE", "QEMU-KVM")
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    gae = results["GAE"].mean_coherence
+    qemu = results["QEMU-KVM"].mean_coherence
+    benchmark.extra_info["gae_mean_ms"] = round(gae, 2)
+    benchmark.extra_info["qemu_mean_ms"] = round(qemu, 2)
+    # Paper: GAE 7.1 ms, QEMU-KVM 6.2 ms — GAE slower. Our app mix
+    # includes full-frame AR composition (31.6 MiB maintenances) which
+    # lifts the absolute mean above the paper's; the ordering and
+    # single-digit-to-low-teens magnitude hold.
+    assert gae > qemu
+    assert 4.0 < qemu < gae < 15.0

@@ -1,0 +1,25 @@
+"""§5.5 — ablations over the top-25 popular apps.
+
+Paper: with prefetch off, 20 of 25 apps (80%) lose frames, average -6%;
+with fences off, 24 of 25 (96%), average -8%.
+"""
+
+from repro.experiments.breakdown import run_popular_breakdown
+
+
+def test_popular_breakdown(benchmark, bench_duration):
+    results = benchmark.pedantic(
+        run_popular_breakdown, kwargs=dict(duration_ms=bench_duration),
+        rounds=1, iterations=1,
+    )
+    for variant, r in results.items():
+        benchmark.extra_info[f"{variant}_apps_with_drops"] = r.apps_with_drops
+        benchmark.extra_info[f"{variant}_avg_drop_pct"] = round(r.average_drop_percent, 1)
+
+    # Moderate (single-digit to low-double-digit) average drops, and a
+    # non-trivial fraction of apps affected.
+    no_prefetch = results["no-prefetch"]
+    no_fence = results["no-fence"]
+    assert 0.0 <= no_prefetch.average_drop_percent < 25.0
+    assert 0.0 <= no_fence.average_drop_percent < 25.0
+    assert no_prefetch.apps_with_drops + no_fence.apps_with_drops > 0

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper with reduced
+durations (shapes are preserved; absolute sample counts shrink). The
+regenerated headline numbers are attached to ``benchmark.extra_info`` so
+``--benchmark-only`` output doubles as a mini experiment report.
+"""
+
+import pytest
+
+#: Simulated milliseconds per app run in benchmarks (full runs use 22 s+).
+BENCH_DURATION_MS = 6_000.0
+#: Apps per Table-1 category in benchmark sweeps (full runs use 10).
+BENCH_APPS_PER_CATEGORY = 2
+
+
+@pytest.fixture
+def bench_duration():
+    return BENCH_DURATION_MS
+
+
+@pytest.fixture
+def bench_apps_per_category():
+    return BENCH_APPS_PER_CATEGORY

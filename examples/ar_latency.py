@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Motion-to-photon latency of an AR app, machine by machine.
+
+Reproduces the §5.3 latency findings interactively: vSoC's MTP stays well
+under the 100 ms AR/VR comfort bound, baselines pile up queueing delay,
+and the laptop's integrated camera beats the desktop's USB camera by
+~10 ms of capture path (Figure 14's surprise).
+
+Run:  python examples/ar_latency.py
+"""
+
+from repro.apps import ArApp
+from repro.experiments.runner import run_app
+from repro.hw.machine import HIGH_END_DESKTOP, MIDDLE_END_LAPTOP
+
+DURATION_MS = 15_000.0
+
+
+def main() -> None:
+    print(f"{'Machine':20s} {'Emulator':12s} {'FPS':>6s} {'MTP avg':>9s} {'MTP p95':>9s}")
+    print("-" * 62)
+    for spec in (HIGH_END_DESKTOP, MIDDLE_END_LAPTOP):
+        for emulator in ("vSoC", "GAE", "QEMU-KVM"):
+            run = run_app(ArApp(), emulator, machine_spec=spec,
+                          duration_ms=DURATION_MS)
+            r = run.result
+            print(f"{spec.name:20s} {emulator:12s} {r.fps:6.1f} "
+                  f"{r.latency_avg:8.1f}ms {r.latency_p95:8.1f}ms")
+        print()
+    print("Notes: the AR/VR comfort bound is sub-100 ms motion-to-photon "
+          "(§1). vSoC's laptop camera latency is *lower* than the desktop's "
+          "despite the weaker machine — the integrated camera's capture "
+          "path is ~10 ms faster than USB (§5.3).")
+
+
+if __name__ == "__main__":
+    main()

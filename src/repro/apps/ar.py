@@ -1,0 +1,63 @@
+"""AR apps (Table 1, row 4): camera → ISP → CPU tracking → GPU → display.
+
+Same front-end as the camera apps plus per-frame pose tracking on the CPU
+(reading the converted frame — another cross-device SVM consumer, which is
+why AR flows are the natural multi-reader hyperedge example of §3.2) and a
+heavier render stage that draws virtual content over the camera feed.
+"""
+
+from __future__ import annotations
+
+from repro.apps.camera import CameraApp
+from repro.emulators.base import Emulator
+from repro.guest.buffers import BufferQueue
+from repro.guest.services import CameraService, SurfaceFlinger
+from repro.guest.vsync import VSyncSource
+from repro.sim import Simulator
+from repro.units import UHD_DISPLAY_BUFFER_BYTES
+
+
+class ArApp(CameraApp):
+    """An augmented-reality app (runs without ARCore, per §2.3's selection)."""
+
+    category = "AR"
+    measures_latency = True
+
+    def __init__(self, name: str = "ar-app", render_overdraw: float = 1.0, **kwargs):
+        kwargs.setdefault("compose_dirty_fraction", 1.0)  # full-frame AR redraw
+        super().__init__(name, **kwargs)
+        self.render_overdraw = render_overdraw
+
+    def extra_cpu_op(self):
+        # Pose tracking reads the converted camera frame on the CPU.
+        return "track", self.frame_bytes
+
+    def build(self, sim: Simulator, emulator: Emulator, vsync: VSyncSource) -> None:
+        raw = BufferQueue(sim, emulator, self.raw_buffers, self.frame_bytes, name=f"{self.name}.raw")
+        out = BufferQueue(sim, emulator, self.out_buffers, self.frame_bytes, name=f"{self.name}.out")
+        flinger = SurfaceFlinger(
+            sim,
+            emulator,
+            vsync,
+            self.fps,
+            latency=self.latency,
+            display_bytes=UHD_DISPLAY_BUFFER_BYTES,
+            compose_dirty_fraction=self.compose_dirty_fraction,
+            render_extra_bytes=int(self.render_overdraw * UHD_DISPLAY_BUFFER_BYTES),
+            honor_deadlines=False,
+        )
+        cpu_op, cpu_bytes = self.extra_cpu_op()
+        service = CameraService(
+            sim,
+            emulator,
+            raw,
+            out,
+            flinger,
+            self.fps,
+            frame_bytes=self.frame_bytes,
+            extra_cpu_op=cpu_op,
+            extra_cpu_bytes=cpu_bytes,
+        )
+        sim.spawn(flinger.run(), name=f"{self.name}:sf")
+        sim.spawn(service.run_sensor(), name=f"{self.name}:sensor")
+        sim.spawn(service.run_pipeline(), name=f"{self.name}:pipeline")

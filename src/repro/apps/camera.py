@@ -1,0 +1,77 @@
+"""Camera apps (Table 1, row 3): camera → ISP → GPU → display.
+
+The camera service captures UHD frames at the sensor rate, the ISP
+converts colorspace (in-GPU on emulators with the YUVConverter path, CPU
+libswscale otherwise), and SurfaceFlinger renders the preview. Motion-to-
+photon latency anchors at the sensor timestamp, so the physical capture
+latency (USB ≫ integrated) shows up exactly as in Figures 13/14.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App
+from repro.emulators.base import Emulator
+from repro.errors import CapabilityError
+from repro.guest.buffers import BufferQueue
+from repro.guest.services import CameraService, SurfaceFlinger
+from repro.guest.vsync import VSyncSource
+from repro.sim import Simulator
+from repro.units import UHD_DISPLAY_BUFFER_BYTES, UHD_FRAME_BYTES
+
+
+class CameraApp(App):
+    """A camera preview/recording app."""
+
+    category = "Camera"
+    measures_latency = True
+
+    def __init__(
+        self,
+        name: str = "camera-app",
+        raw_buffers: int = 3,
+        out_buffers: int = 3,
+        frame_bytes: int = UHD_FRAME_BYTES,
+        compose_dirty_fraction: float = 0.5,
+        warmup_ms: float = 2_000.0,
+    ):
+        super().__init__(name, warmup_ms=warmup_ms)
+        self.raw_buffers = raw_buffers
+        self.out_buffers = out_buffers
+        self.frame_bytes = frame_bytes
+        self.compose_dirty_fraction = compose_dirty_fraction
+
+    def check_capabilities(self, emulator: Emulator) -> None:
+        if not emulator.has_vdev("camera"):
+            raise CapabilityError(f"{emulator.name} has no camera device")
+
+    def extra_cpu_op(self):
+        return None, 0
+
+    def build(self, sim: Simulator, emulator: Emulator, vsync: VSyncSource) -> None:
+        raw = BufferQueue(sim, emulator, self.raw_buffers, self.frame_bytes, name=f"{self.name}.raw")
+        out = BufferQueue(sim, emulator, self.out_buffers, self.frame_bytes, name=f"{self.name}.out")
+        flinger = SurfaceFlinger(
+            sim,
+            emulator,
+            vsync,
+            self.fps,
+            latency=self.latency,
+            display_bytes=UHD_DISPLAY_BUFFER_BYTES,
+            compose_dirty_fraction=self.compose_dirty_fraction,
+            honor_deadlines=False,  # previews show the freshest frame, late or not
+        )
+        cpu_op, cpu_bytes = self.extra_cpu_op()
+        service = CameraService(
+            sim,
+            emulator,
+            raw,
+            out,
+            flinger,
+            self.fps,
+            frame_bytes=self.frame_bytes,
+            extra_cpu_op=cpu_op,
+            extra_cpu_bytes=cpu_bytes,
+        )
+        sim.spawn(flinger.run(), name=f"{self.name}:sf")
+        sim.spawn(service.run_sensor(), name=f"{self.name}:sensor")
+        sim.spawn(service.run_pipeline(), name=f"{self.name}:pipeline")

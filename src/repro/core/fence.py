@@ -1,0 +1,177 @@
+"""Virtual command fences (§3.4).
+
+Two fence instructions exist: **signal** — fires when the operations
+preceding it in a command queue have finished — and **wait** — blocks the
+host executor until the paired signal has fired. They always represent a
+happens-before relationship; multiple waits on one signal are allowed.
+
+The *virtual fence table* aggregates fence statuses and is shared with the
+guest. §4 limits it to a single memory page to avoid the cost of walking
+non-contiguous guest pages from the host, and recycles signalled indices
+when the supply of unused ones runs low. The *physical fence tables* track
+the device-specific synchronization primitives (``glFenceSync`` and
+friends) that host-side execution maps virtual fences onto; in the
+simulation a primitive is the completion event of the device operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.errors import FenceError, FenceTableFullError
+from repro.sim import SimEvent, Simulator
+from repro.sim.primitives import Waitable
+from repro.units import PAGE_SIZE
+
+#: Bytes of guest-shared state per fence entry (index + status word).
+FENCE_ENTRY_BYTES = 8
+#: How many entries fit in the one-page table: 4096 / 8 = 512.
+FENCE_TABLE_CAPACITY = PAGE_SIZE // FENCE_ENTRY_BYTES
+#: Recycling kicks in when unused indices drop below this fraction.
+RECYCLE_LOW_WATER = 0.25
+
+
+class FenceState(enum.Enum):
+    """Lifecycle of a virtual fence slot."""
+
+    PENDING = "pending"
+    SIGNALED = "signaled"
+    RECYCLED = "recycled"
+
+
+class VirtualFence:
+    """One signal/wait pair occupying a slot of the virtual fence table."""
+
+    __slots__ = ("index", "state", "_event", "waiters")
+
+    def __init__(self, sim: Simulator, index: int):
+        self.index = index
+        self.state = FenceState.PENDING
+        self._event = SimEvent(sim, name=f"fence[{index}]")
+        self.waiters = 0
+
+    def signal(self) -> None:
+        """Mark the preceding operations complete; wakes every waiter."""
+        if self.state is not FenceState.PENDING:
+            raise FenceError(f"fence {self.index} signalled in state {self.state.value}")
+        self.state = FenceState.SIGNALED
+        self._event.fire(None)
+
+    def wait(self) -> Waitable:
+        """Waitable that fires once the paired signal has happened.
+
+        Waiting on a RECYCLED fence is legal and fires immediately: a fence
+        is only ever recycled after it signalled, so its happens-before
+        obligation is already discharged (this is what makes index
+        recycling safe in §4).
+        """
+        self.waiters += 1
+        return self._event
+
+    @property
+    def signaled(self) -> bool:
+        return self.state is FenceState.SIGNALED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualFence #{self.index} {self.state.value}>"
+
+
+class VirtualFenceTable:
+    """The page-limited, guest-shared table of virtual fences.
+
+    Allocation hands out fresh indices until the free supply runs low, then
+    recycles signalled fences (oldest first), mirroring §4. Allocating with
+    every slot pending raises :class:`FenceTableFullError` — back-pressure
+    the flow-control layer is expected to prevent.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = FENCE_TABLE_CAPACITY):
+        if capacity <= 0:
+            raise FenceError("fence table capacity must be positive")
+        self._sim = sim
+        self.capacity = capacity
+        self._slots: Dict[int, VirtualFence] = {}
+        self._free: List[int] = list(range(capacity - 1, -1, -1))  # pop() -> 0,1,2...
+        self.allocated_total = 0
+        self.recycled_total = 0
+
+    def allocate(self) -> VirtualFence:
+        """Allocate a fence slot, recycling signalled entries when low."""
+        if len(self._free) < max(1, int(self.capacity * RECYCLE_LOW_WATER)):
+            self._recycle_signaled()
+        if not self._free:
+            raise FenceTableFullError(
+                f"all {self.capacity} fence slots pending — guest is outrunning the host"
+            )
+        index = self._free.pop()
+        fence = VirtualFence(self._sim, index)
+        self._slots[index] = fence
+        self.allocated_total += 1
+        return fence
+
+    def get(self, index: int) -> VirtualFence:
+        try:
+            return self._slots[index]
+        except KeyError:
+            raise FenceError(f"no live fence at index {index}") from None
+
+    def _recycle_signaled(self) -> None:
+        """Reclaim indices whose fences have signalled (status query done)."""
+        for index in sorted(self._slots):
+            fence = self._slots[index]
+            if fence.state is FenceState.SIGNALED:
+                fence.state = FenceState.RECYCLED
+                del self._slots[index]
+                self._free.append(index)
+                self.recycled_total += 1
+
+    @property
+    def live_fences(self) -> int:
+        return len(self._slots)
+
+    @property
+    def shared_bytes(self) -> int:
+        """Guest-shared footprint — bounded by one page by construction."""
+        return self.capacity * FENCE_ENTRY_BYTES
+
+
+class PhysicalFenceTable:
+    """Per-physical-device map of in-flight synchronization primitives.
+
+    In the real system these are ``glFenceSync`` objects and driver events;
+    here a primitive is the :class:`~repro.sim.primitives.SimEvent` that a
+    host executor fires when a device operation retires. The table exists
+    so status queries (`aggregate` in §3.4) have one place to look.
+    """
+
+    def __init__(self, device_name: str):
+        self.device_name = device_name
+        self._primitives: Dict[int, SimEvent] = {}
+        self._next_id = 0
+
+    def insert(self, completion: SimEvent) -> int:
+        """Track a device-specific primitive; returns its slot id."""
+        slot = self._next_id
+        self._next_id += 1
+        self._primitives[slot] = completion
+        return slot
+
+    def is_complete(self, slot: int) -> bool:
+        try:
+            return self._primitives[slot].fired
+        except KeyError:
+            raise FenceError(
+                f"device {self.device_name!r} has no primitive #{slot}"
+            ) from None
+
+    def reap(self) -> int:
+        """Drop completed primitives; returns how many were reaped."""
+        done = [slot for slot, ev in self._primitives.items() if ev.fired]
+        for slot in done:
+            del self._primitives[slot]
+        return len(done)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._primitives)

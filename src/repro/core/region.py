@@ -1,0 +1,210 @@
+"""SVM regions: the unit of shared-virtual-memory management.
+
+An :class:`SvmRegion` corresponds to one allocation through the mobile
+shared-memory interface (Figure 3 of the paper). Following §3.2:
+
+* every region gets a unique 64-bit ID at allocation time;
+* backing memory is **lazily** allocated per *location* on first access,
+  because the accessing device is only known then;
+* the guest caches only a sliver of metadata (the size), while the complete
+  metadata and resource handles live in the host-side manager.
+
+Locations
+---------
+Coherence state is tracked per *location*, not per virtual device: a
+location is either a physical device's local memory (``"gpu"``), the host's
+main memory (``"host"``), or — for the guest-memory architecture of
+baseline emulators (§2.2) — the guest's RAM (``"guest"``). The set
+``valid_locations`` names every location holding an up-to-date copy; a
+write shrinks it to the writer's location (invalidation), a coherence copy
+grows it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set, TYPE_CHECKING
+
+from repro.errors import AccessStateError, SvmError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hw.device import PhysicalDevice
+    from repro.hw.memory import MemoryRegion
+    from repro.sim.kernel import Process
+
+
+#: Pseudo-location: the host's main memory (devices without local memory).
+HOST_LOCATION = "host"
+#: Pseudo-location: guest RAM — only used by the baseline architecture.
+GUEST_LOCATION = "guest"
+
+
+def location_of(device: "PhysicalDevice") -> str:
+    """Coherence location of a physical device.
+
+    Devices with dedicated local memory (discrete GPUs) are their own
+    location; everything else reads and writes host main memory directly.
+    """
+    return device.name if device.local_memory is not None else HOST_LOCATION
+
+
+class AccessUsage(enum.Enum):
+    """The ``usage`` argument of ``begin_access`` (Figure 3): RO / WO / RW."""
+
+    READ = "ro"
+    WRITE = "wo"
+    READ_WRITE = "rw"
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessUsage.WRITE, AccessUsage.READ_WRITE)
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessUsage.READ, AccessUsage.READ_WRITE)
+
+
+class _OpenAccess:
+    """Bookkeeping for one in-progress begin_access/end_access bracket."""
+
+    __slots__ = ("vdev", "usage", "nbytes", "start_time")
+
+    def __init__(self, vdev: str, usage: AccessUsage, nbytes: int, start_time: float):
+        self.vdev = vdev
+        self.usage = usage
+        self.nbytes = nbytes
+        self.start_time = start_time
+
+
+class SvmRegion:
+    """One shared-virtual-memory region and its coherence state.
+
+    Attributes
+    ----------
+    region_id:
+        The unique 64-bit handle (§3.2).
+    size:
+        Region size in bytes; accesses may touch a smaller dirty window.
+    valid_locations:
+        Locations currently holding an up-to-date copy.
+    last_writer_vdev / last_writer_location:
+        Provenance of the newest data — the source coherence copies pull
+        from, and the signal end of the region's implicit happens-before
+        edge.
+    write_complete_time:
+        Host-side completion time of the newest write; slack intervals are
+        measured from here (§2.3).
+    write_fence:
+        Fence signalled when the newest write's host execution finished
+        (set by the emulator when fences are enabled).
+    pending_prefetch:
+        The in-flight prefetch process for this region, if any. A reader
+        arriving early joins it instead of redoing the copy.
+    """
+
+    def __init__(self, region_id: int, size: int):
+        if size <= 0:
+            raise SvmError(f"region size must be positive, got {size}")
+        self.region_id = region_id
+        self.size = size
+        self.freed = False
+
+        self.valid_locations: Set[str] = set()
+        self.last_writer_vdev: Optional[str] = None
+        self.last_writer_location: Optional[str] = None
+        self.dirty_bytes: int = size
+        self.write_complete_time: Optional[float] = None
+
+        self.write_fence = None  # type: Optional[object]
+        self.write_in_flight = False
+        self.pending_writer_location: Optional[str] = None
+        self.pending_prefetch: Optional["Process"] = None
+        self.prefetch_targets: Set[str] = set()
+        self.prefetch_predicted_vdevs: Optional[Set[str]] = None
+        self.prefetch_vkey = None
+        self.pending_compensation = 0.0
+        self.applied_compensation = 0.0
+        self.last_flush_duration = 0.0
+
+        self.backing: Dict[str, "MemoryRegion"] = {}
+        self._open: Dict[str, _OpenAccess] = {}
+
+        # lifetime statistics (feed the measurement experiments)
+        self.total_accesses = 0
+        self.writer_vdevs: Set[str] = set()
+        self.reader_vdevs: Set[str] = set()
+
+    # -- access bracket ----------------------------------------------------
+    def open_access(self, vdev: str, usage: AccessUsage, nbytes: int, now: float) -> None:
+        """Record a begin_access; nested brackets from one vdev are invalid."""
+        if self.freed:
+            raise SvmError(f"access to freed region #{self.region_id}")
+        if nbytes <= 0 or nbytes > self.size:
+            raise SvmError(
+                f"access window {nbytes}B invalid for region of {self.size}B"
+            )
+        if vdev in self._open:
+            raise AccessStateError(
+                f"vdev {vdev!r} called begin_access twice on region #{self.region_id}"
+            )
+        self._open[vdev] = _OpenAccess(vdev, usage, nbytes, now)
+        self.total_accesses += 1
+        if usage.writes:
+            self.writer_vdevs.add(vdev)
+        if usage.reads:
+            self.reader_vdevs.add(vdev)
+
+    def close_access(self, vdev: str) -> _OpenAccess:
+        """Record an end_access; must pair a prior begin_access."""
+        try:
+            return self._open.pop(vdev)
+        except KeyError:
+            raise AccessStateError(
+                f"vdev {vdev!r} called end_access without begin_access on "
+                f"region #{self.region_id}"
+            ) from None
+
+    @property
+    def open_accessors(self) -> Set[str]:
+        return set(self._open)
+
+    # -- coherence state ------------------------------------------------------
+    def note_write(self, vdev: str, location: str, nbytes: int) -> None:
+        """Invalidate all other copies: ``location`` now holds the only one."""
+        self.valid_locations = {location}
+        self.last_writer_vdev = vdev
+        self.last_writer_location = location
+        self.dirty_bytes = nbytes
+        self.pending_prefetch = None
+        self.prefetch_targets = set()
+        self.prefetch_predicted_vdevs = None
+        self.prefetch_vkey = None
+        self.pending_compensation = 0.0
+
+    def note_copy(self, dst_location: str) -> None:
+        """A coherence copy landed an up-to-date replica at ``dst_location``."""
+        self.valid_locations.add(dst_location)
+
+    def is_valid_at(self, location: str) -> bool:
+        """True when ``location`` can read without coherence maintenance.
+
+        A never-written region is trivially coherent everywhere (reads see
+        zero-fill, as with freshly mmapped pages).
+        """
+        if not self.valid_locations:
+            return True
+        return location in self.valid_locations
+
+    # -- lifecycle ---------------------------------------------------------
+    def release_backing(self) -> None:
+        """Free all lazily allocated backing memory."""
+        for backing in self.backing.values():
+            if not backing.freed:
+                backing.free()
+        self.backing.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SvmRegion #{self.region_id} {self.size}B "
+            f"valid={sorted(self.valid_locations)} writer={self.last_writer_vdev}>"
+        )

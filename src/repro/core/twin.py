@@ -1,0 +1,306 @@
+"""The twin hypergraphs of §3.2: SVM usage modelled at two layers.
+
+Two directed hypergraphs share a hashtable:
+
+* the **virtual layer** — nodes are virtual devices; a hyperedge is a data
+  flow (writer vdev → reader vdevs) and records high-level statistics: the
+  slack intervals between consecutive cross-device accesses;
+* the **physical layer** — nodes are coherence *locations* (physical
+  devices with local memory, plus host memory); its hyperedges record
+  low-level properties: transfer sizes and observed prefetch durations;
+* the **hashtable in between** maps SVM region IDs to their flow's
+  hyperedges in both layers — updated dynamically as the SVM Manager
+  processes accesses.
+
+Data flows and regions have a one-to-many relationship (a buffered pipeline
+rotates several regions through the same flow), which is exactly why R/W
+history is recorded per *flow* rather than per region: a freshly allocated
+region inherits its flow's history, giving the paper's "zero-shot"
+prediction when data pipelines switch (§3.3).
+
+Generations
+-----------
+A region's life is a sequence of write generations: a write opens a
+generation and the reads that follow belong to it. When the next write
+arrives, the previous generation is *finalized*: its actual reader set
+names the flow's hyperedge, statistics are folded in, and the region is
+(re)bound — so the binding used for prediction always reflects the most
+recent completed generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.core.hypergraph import DirectedHypergraph, Hyperedge
+from repro.core.smoothing import ExponentialSmoothing
+from repro.errors import UnknownRegionError
+
+
+class _FlowState:
+    """Per-region entry of the hashtable linking the two hypergraph layers."""
+
+    __slots__ = (
+        "vedge",
+        "pedge",
+        "gen_writer_vdev",
+        "gen_writer_loc",
+        "gen_readers",
+        "gen_reader_locs",
+        "gen_slack_samples",
+    )
+
+    def __init__(self) -> None:
+        self.vedge: Optional[Hyperedge] = None
+        self.pedge: Optional[Hyperedge] = None
+        self.gen_writer_vdev: Optional[str] = None
+        self.gen_writer_loc: Optional[str] = None
+        self.gen_readers: Set[str] = set()
+        self.gen_reader_locs: Set[str] = set()
+        self.gen_slack_samples: List[float] = []
+
+
+class PredictedFlow:
+    """The prefetch engine's view of a predicted data flow."""
+
+    __slots__ = ("reader_vdevs", "reader_locations", "vedge", "pedge")
+
+    def __init__(
+        self,
+        reader_vdevs: FrozenSet[str],
+        reader_locations: FrozenSet[str],
+        vedge: Optional[Hyperedge],
+        pedge: Optional[Hyperedge],
+    ):
+        self.reader_vdevs = reader_vdevs
+        self.reader_locations = reader_locations
+        self.vedge = vedge
+        self.pedge = pedge
+
+
+class TwinHypergraphs:
+    """Virtual + physical data-flow hypergraphs with the region hashtable."""
+
+    #: rough per-object sizes used by :meth:`memory_overhead_bytes`
+    _EDGE_COST = 256
+    _REGION_COST = 96
+    _NODE_COST = 48
+
+    def __init__(self, virtual_nodes: Iterable[str], physical_nodes: Iterable[str]):
+        self.virtual = DirectedHypergraph("virtual")
+        self.physical = DirectedHypergraph("physical")
+        for node in virtual_nodes:
+            self.virtual.add_node(node)
+        for node in physical_nodes:
+            self.physical.add_node(node)
+        self._flows: Dict[int, _FlowState] = {}
+
+    # -- region hashtable --------------------------------------------------
+    def register_region(self, region_id: int) -> None:
+        """Add a hashtable entry for a newly allocated SVM region."""
+        self._flows[region_id] = _FlowState()
+
+    def drop_region(self, region_id: int) -> None:
+        """Remove the entry when the region is freed."""
+        self._flows.pop(region_id, None)
+
+    def _flow(self, region_id: int) -> _FlowState:
+        try:
+            return self._flows[region_id]
+        except KeyError:
+            raise UnknownRegionError(f"region #{region_id} not in twin hashtable") from None
+
+    @property
+    def tracked_regions(self) -> int:
+        return len(self._flows)
+
+    # -- observation hooks (called by the SVM Manager) -------------------------
+    def on_write(
+        self, region_id: int, writer_vdev: str, writer_loc: str, nbytes: int
+    ) -> None:
+        """A new write generation begins: finalize the previous one."""
+        flow = self._flow(region_id)
+        self._finalize_generation(flow)
+        flow.gen_writer_vdev = writer_vdev
+        flow.gen_writer_loc = writer_loc
+        if flow.pedge is not None:
+            self._size_stat(flow.pedge).update(float(nbytes))
+
+    def on_read(
+        self,
+        region_id: int,
+        reader_vdev: str,
+        reader_loc: str,
+        slack: Optional[float],
+    ) -> None:
+        """A read joined the current generation; record slack if first."""
+        flow = self._flow(region_id)
+        first_reader = not flow.gen_readers
+        flow.gen_readers.add(reader_vdev)
+        flow.gen_reader_locs.add(reader_loc)
+        if slack is not None and first_reader:
+            if flow.vedge is not None and reader_vdev in flow.vedge.destinations:
+                self._slack_stat(flow.vedge).update(slack)
+            else:
+                flow.gen_slack_samples.append(slack)
+
+    def _finalize_generation(self, flow: _FlowState) -> None:
+        """Bind the region to the hyperedges named by its actual readers."""
+        if flow.gen_writer_vdev is None or not flow.gen_readers:
+            self._reset_generation(flow)
+            return
+        vedge = self.virtual.edge([flow.gen_writer_vdev], flow.gen_readers)
+        vedge.touch()
+        slack_stat = self._slack_stat(vedge)
+        for sample in flow.gen_slack_samples:
+            slack_stat.update(sample)
+        flow.vedge = vedge
+
+        if flow.gen_writer_loc is not None and flow.gen_reader_locs:
+            pedge = self.physical.edge([flow.gen_writer_loc], flow.gen_reader_locs)
+            pedge.touch()
+            flow.pedge = pedge
+        self._reset_generation(flow)
+
+    @staticmethod
+    def _reset_generation(flow: _FlowState) -> None:
+        flow.gen_writer_vdev = None
+        flow.gen_writer_loc = None
+        flow.gen_readers = set()
+        flow.gen_reader_locs = set()
+        flow.gen_slack_samples = []
+
+    # -- statistics accessors ------------------------------------------------
+    @staticmethod
+    def _slack_stat(edge: Hyperedge) -> ExponentialSmoothing:
+        stat = edge.stats.get("slack")
+        if stat is None:
+            stat = edge.stats["slack"] = ExponentialSmoothing()
+        return stat
+
+    @staticmethod
+    def _size_stat(edge: Hyperedge) -> ExponentialSmoothing:
+        stat = edge.stats.get("size")
+        if stat is None:
+            stat = edge.stats["size"] = ExponentialSmoothing()
+        return stat
+
+    @staticmethod
+    def _prefetch_stat(edge: Hyperedge) -> ExponentialSmoothing:
+        stat = edge.stats.get("prefetch_time")
+        if stat is None:
+            stat = edge.stats["prefetch_time"] = ExponentialSmoothing()
+        return stat
+
+    def note_prefetch_duration(self, pedge: Hyperedge, duration: float) -> None:
+        """Fold an observed prefetch copy duration into the physical layer."""
+        self._prefetch_stat(pedge).update(duration)
+
+    def predict_prefetch_time(self, pedge: Optional[Hyperedge]) -> Optional[float]:
+        if pedge is None:
+            return None
+        stat = pedge.stats.get("prefetch_time")
+        return stat.predict() if stat is not None else None
+
+    def predict_slack(self, vedge: Optional[Hyperedge]) -> Optional[float]:
+        if vedge is None:
+            return None
+        stat = vedge.stats.get("slack")
+        return stat.predict() if stat is not None else None
+
+    def slack_std_error(self, vedge: Hyperedge) -> Optional[float]:
+        stat = vedge.stats.get("slack")
+        return stat.std_error if stat is not None else None
+
+    # -- prediction -------------------------------------------------------------
+    def predict_readers(
+        self, region_id: int, writer_vdev: str, allow_zero_shot: bool = True
+    ) -> Optional[PredictedFlow]:
+        """Predict who reads this region's fresh write next (§3.3 type 1).
+
+        Uses the region's bound flow when available; otherwise falls back to
+        the busiest flow sourced at ``writer_vdev`` — the zero-shot path for
+        new regions joining an established pipeline. ``allow_zero_shot=False``
+        disables the fallback (the fine-grained, per-region-history ablation
+        the paper argues against: it re-pays cold starts on every pipeline
+        switch).
+        """
+        flow = self._flow(region_id)
+        vedge = flow.vedge
+        pedge = flow.pedge
+        if vedge is None or writer_vdev not in vedge.sources:
+            if not allow_zero_shot:
+                return None
+            vedge = self._busiest_edge_from(self.virtual, writer_vdev)
+            pedge = None
+        if vedge is None:
+            return None
+        if pedge is None:
+            pedge = self._matching_pedge(vedge)
+        reader_locs = pedge.destinations if pedge is not None else frozenset()
+        return PredictedFlow(vedge.destinations, reader_locs, vedge, pedge)
+
+    @staticmethod
+    def _busiest_edge_from(graph: DirectedHypergraph, source: str) -> Optional[Hyperedge]:
+        candidates = graph.edges_from(source)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: e.observations)
+
+    def _matching_pedge(self, vedge: Hyperedge) -> Optional[Hyperedge]:
+        """Best-effort physical edge for a zero-shot virtual prediction.
+
+        When a new region inherits a flow, we pick the most-observed
+        physical edge overall sourced anywhere — in practice pipelines map
+        stably, so the busiest physical edge of the whole graph sourced at
+        any location is a weak fallback; prefer edges whose observation
+        count matches the virtual edge's activity.
+        """
+        best: Optional[Hyperedge] = None
+        for pedge in self.physical:
+            if best is None or pedge.observations > best.observations:
+                best = pedge
+        return best
+
+    # -- visualization ----------------------------------------------------------
+    def to_dot(self) -> str:
+        """Render both hypergraph layers as Graphviz DOT (for inspection).
+
+        Hyperedges with multiple destinations are drawn through a small
+        junction node, the standard hypergraph-to-digraph expansion.
+        """
+        lines = ["digraph twin_hypergraphs {", "  rankdir=LR;"]
+        for layer, graph in (("virtual", self.virtual), ("physical", self.physical)):
+            lines.append(f"  subgraph cluster_{layer} {{")
+            lines.append(f'    label="{layer} layer";')
+            for node in sorted(graph.nodes):
+                lines.append(f'    "{layer}:{node}" [label="{node}"];')
+            for index, edge in enumerate(graph):
+                slack = edge.stats.get("slack")
+                label = f"obs={edge.observations}"
+                if slack is not None and slack.predict() is not None:
+                    label += f"\\nslack={slack.predict():.1f}ms"
+                source = next(iter(edge.sources))
+                if len(edge.destinations) == 1:
+                    dest = next(iter(edge.destinations))
+                    lines.append(
+                        f'    "{layer}:{source}" -> "{layer}:{dest}" [label="{label}"];'
+                    )
+                else:
+                    junction = f"{layer}:e{index}"
+                    lines.append(f'    "{junction}" [shape=point];')
+                    lines.append(f'    "{layer}:{source}" -> "{junction}" [label="{label}"];')
+                    for dest in sorted(edge.destinations):
+                        lines.append(f'    "{junction}" -> "{layer}:{dest}";')
+            lines.append("  }")
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- bookkeeping for §5.2's memory-overhead claim -------------------------
+    def memory_overhead_bytes(self) -> int:
+        """Estimated resident size of the framework's data structures."""
+        return (
+            (len(self.virtual) + len(self.physical)) * self._EDGE_COST
+            + len(self._flows) * self._REGION_COST
+            + (len(self.virtual.nodes) + len(self.physical.nodes)) * self._NODE_COST
+        )

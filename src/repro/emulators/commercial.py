@@ -1,0 +1,90 @@
+"""LDPlayer and Bluestacks models.
+
+Both are closed-source gaming-oriented emulators; the paper measures them
+as black boxes. We encode the externally observable behaviour:
+
+* guest-memory SVM with atomic ordering (modular architecture, as all
+  non-vSoC emulators);
+* software video decode with additional per-frame overheads (both perform
+  far below GAE on UHD video despite comparable hardware access);
+* periodic whole-emulator stalls — §5.3: "videos often freeze for seconds
+  on Bluestacks and LDPlayer", at lower resolutions they run smoothly,
+  i.e. the problem is throughput, not functionality. Bluestacks stalls
+  longer and more often (it ranks last among the four baselines that can
+  run all categories).
+
+These stall/scale parameters are fitted to land the Figure 10 FPS ordering
+(GAE > QEMU-KVM > LDPlayer > Bluestacks on emerging apps) at roughly the
+paper's average factors (vSoC is ~2.9x LDPlayer and ~7.6x Bluestacks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.ordering import OrderingMode
+from repro.emulators.base import Emulator, EmulatorConfig
+from repro.hw.machine import HostMachine
+from repro.sim import Simulator
+from repro.sim.tracing import TraceLog
+
+
+def ldplayer_config() -> EmulatorConfig:
+    """LDPlayer configuration (fitted parameters; see module docstring)."""
+    return EmulatorConfig(
+        name="LDPlayer",
+        unified_svm=False,
+        prefetch_enabled=False,
+        ordering=OrderingMode.ATOMIC,
+        hw_decode=False,
+        hw_encode=False,
+        has_camera=True,
+        isp_on_gpu=False,
+        render_scale=1.25,
+        decode_scale=2.0,
+        extra_access_overhead_ms=0.45,
+        coherence_bandwidth_scale=0.85,  # slower boundary than GAE's
+        stall_period_ms=4_000.0,
+        stall_duration_ms=320.0,
+    )
+
+
+def bluestacks_config() -> EmulatorConfig:
+    """Bluestacks configuration (fitted parameters; see module docstring)."""
+    return EmulatorConfig(
+        name="Bluestacks",
+        unified_svm=False,
+        prefetch_enabled=False,
+        ordering=OrderingMode.ATOMIC,
+        hw_decode=False,
+        hw_encode=False,
+        has_camera=True,
+        isp_on_gpu=False,
+        render_scale=1.35,
+        decode_scale=2.2,
+        extra_access_overhead_ms=0.5,
+        coherence_bandwidth_scale=0.8,
+        stall_period_ms=5_000.0,
+        stall_duration_ms=2_500.0,  # the "freeze for seconds" behaviour
+    )
+
+
+def make_ldplayer(
+    sim: Simulator,
+    machine: HostMachine,
+    trace: Optional[TraceLog] = None,
+    rng: Optional[random.Random] = None,
+) -> Emulator:
+    """Build an LDPlayer model instance."""
+    return Emulator(sim, machine, ldplayer_config(), trace=trace, rng=rng)
+
+
+def make_bluestacks(
+    sim: Simulator,
+    machine: HostMachine,
+    trace: Optional[TraceLog] = None,
+    rng: Optional[random.Random] = None,
+) -> Emulator:
+    """Build a Bluestacks model instance."""
+    return Emulator(sim, machine, bluestacks_config(), trace=trace, rng=rng)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the vSoC reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch the whole family with one clause. Subclasses are deliberately narrow:
+each names the subsystem and the contract that was violated.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel detected an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """``run()`` was asked to make progress but every process is blocked."""
+
+
+class HardwareError(ReproError):
+    """A hardware model was misused (unknown device, bad bandwidth, ...)."""
+
+
+class SvmError(ReproError):
+    """Shared-virtual-memory contract violation (bad handle, double free)."""
+
+
+class UnknownRegionError(SvmError):
+    """An SVM region ID was not found in the manager's hashtable."""
+
+
+class AccessStateError(SvmError):
+    """begin_access / end_access were called out of order."""
+
+
+class FenceError(ReproError):
+    """Virtual command fence misuse (double signal, unknown fence index)."""
+
+
+class FenceTableFullError(FenceError):
+    """The one-page virtual fence table ran out of recyclable indices."""
+
+
+class CapabilityError(ReproError):
+    """An app needs a device the emulator does not implement (§5.3)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model was configured with invalid parameters."""

@@ -1,0 +1,124 @@
+"""Application benchmarks: Figures 10, 11, 13 and 14 (§5.3).
+
+Runs the 50 emerging apps on every emulator, on either evaluation machine,
+and aggregates FPS per category (Figs 10/11) and motion-to-photon latency
+for the camera/AR/livestream categories (Figs 13/14). Also provides the
+pairwise comparison of §5.3 (averages over the apps *both* emulators can
+run) and the runnable-app counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.catalog import EMERGING_CATEGORIES, emerging_apps
+from repro.experiments.runner import DEFAULT_DURATION_MS, AppRun, run_app
+from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
+
+EMULATORS = ("vSoC", "GAE", "QEMU-KVM", "LDPlayer", "Bluestacks", "Trinity")
+#: Categories with motion-to-photon measurements (§5.3: no user input
+#: during video playback, so latency is only measured on these three).
+LATENCY_CATEGORIES = ("Camera", "AR", "Livestream")
+
+
+@dataclass
+class AppBenchResult:
+    """One emulator's bar group in Figs 10/11 + 13/14."""
+
+    emulator: str
+    machine: str
+    category_fps: Dict[str, float] = field(default_factory=dict)
+    category_latency: Dict[str, float] = field(default_factory=dict)
+    runnable: int = 0
+    per_app: Dict[str, Optional[float]] = field(default_factory=dict)  # fps or None
+
+    @property
+    def mean_fps(self) -> float:
+        values = list(self.category_fps.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        values = list(self.category_latency.values())
+        return sum(values) / len(values) if values else None
+
+
+def run_appbench(
+    emulator_name: str,
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    apps_per_category: int = 10,
+    seed: int = 0,
+) -> AppBenchResult:
+    """All emerging apps on one emulator/machine."""
+    result = AppBenchResult(emulator=emulator_name, machine=machine_spec.name)
+    by_category: Dict[str, List[AppRun]] = {c: [] for c in EMERGING_CATEGORIES}
+    for app in emerging_apps(seed=seed, per_category=apps_per_category):
+        run = run_app(app, emulator_name, machine_spec, duration_ms, seed=seed)
+        by_category[app.category].append(run)
+        result.per_app[app.name] = run.result.fps if run.result.ran else None
+        if run.result.ran:
+            result.runnable += 1
+    for category, runs in by_category.items():
+        fps_values = [r.result.fps for r in runs if r.result.ran]
+        if fps_values:
+            result.category_fps[category] = sum(fps_values) / len(fps_values)
+        if category in LATENCY_CATEGORIES:
+            lat_values = [
+                r.result.latency_avg for r in runs
+                if r.result.ran and r.result.latency_avg is not None
+            ]
+            if lat_values:
+                result.category_latency[category] = sum(lat_values) / len(lat_values)
+    return result
+
+
+def run_fig10(machine_spec: MachineSpec = HIGH_END_DESKTOP,
+              duration_ms: float = DEFAULT_DURATION_MS,
+              apps_per_category: int = 10,
+              emulators: Sequence[str] = EMULATORS,
+              seed: int = 0) -> Dict[str, AppBenchResult]:
+    """FPS bars per category per emulator (Fig 10 high-end / Fig 11 laptop)."""
+    return {
+        name: run_appbench(name, machine_spec, duration_ms, apps_per_category, seed)
+        for name in emulators
+    }
+
+
+def run_fig11(duration_ms: float = DEFAULT_DURATION_MS, apps_per_category: int = 10,
+              emulators: Sequence[str] = EMULATORS, seed: int = 0):
+    """Fig 11 = Fig 10 on the middle-end laptop (thermal effects active).
+
+    Note: the laptop's thermal collapse develops over ~30-60 simulated
+    seconds, so short durations understate it; 60 s+ is representative.
+    """
+    from repro.hw.machine import MIDDLE_END_LAPTOP
+
+    return run_fig10(MIDDLE_END_LAPTOP, duration_ms, apps_per_category, emulators, seed)
+
+
+def pairwise_comparison(results: Dict[str, AppBenchResult], baseline: str,
+                        reference: str = "vSoC") -> Optional[float]:
+    """§5.3's pairwise FPS ratio over apps both emulators can run.
+
+    Returns reference/baseline mean-FPS ratio, or None with no overlap.
+    """
+    ref, base = results[reference], results[baseline]
+    common = [
+        name
+        for name, fps in ref.per_app.items()
+        if fps is not None and base.per_app.get(name) is not None
+    ]
+    if not common:
+        return None
+    ref_mean = sum(ref.per_app[n] for n in common) / len(common)
+    base_mean = sum(base.per_app[n] for n in common) / len(common)
+    if base_mean <= 0:
+        return None
+    return ref_mean / base_mean
+
+
+def runnable_counts(results: Dict[str, AppBenchResult]) -> Dict[str, int]:
+    """§5.3's 48/47/42/43/44/20-style counts."""
+    return {name: r.runnable for name, r in results.items()}

@@ -1,0 +1,162 @@
+"""Performance breakdown (§5.4): Figures 12 and 16, plus §5.5's ablations.
+
+* **Fig 12** — FPS per emerging category for vSoC, vSoC without the
+  prefetch engine (write-invalidate coherence), and vSoC without virtual
+  fences (atomic ordering). Paper: −30% average / −66% video for the
+  prefetch ablation; −11% for the fence ablation.
+* **Fig 16** — CDF of SVM access latency with the prefetch engine off
+  while playing UHD video: the write-invalidate protocol blocks the render
+  thread (paper: up to 40.54 ms), frames miss presentation deadlines and
+  are discarded.
+* **§5.5** — the same two ablations over the top-25 popular apps: the
+  fraction of apps losing FPS and the average loss.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps.catalog import EMERGING_CATEGORIES, emerging_apps, popular_apps
+from repro.emulators import make_vsoc
+from repro.experiments.runner import DEFAULT_DURATION_MS, run_app
+from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
+from repro.metrics.stats import cdf_points
+
+#: The three Fig 12 variants, in bar order.
+VARIANTS: Dict[str, Optional[Callable]] = {
+    "vSoC": None,  # default factory
+    "no-prefetch": functools.partial(make_vsoc, prefetch=False),
+    "no-fence": functools.partial(make_vsoc, fences=False),
+}
+
+
+@dataclass
+class BreakdownResult:
+    """Fig 12: category FPS per variant."""
+
+    machine: str
+    category_fps: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def variant_mean(self, variant: str) -> float:
+        values = [fps[variant] for fps in self.category_fps.values() if variant in fps]
+        return sum(values) / len(values) if values else 0.0
+
+    def drop_percent(self, variant: str) -> float:
+        """Average FPS drop of a variant relative to full vSoC."""
+        full = self.variant_mean("vSoC")
+        if full <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.variant_mean(variant) / full)
+
+
+def run_fig12(
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    apps_per_category: int = 10,
+    seed: int = 0,
+) -> BreakdownResult:
+    """The §5.4 ablation sweep over the emerging apps."""
+    result = BreakdownResult(machine=machine_spec.name)
+    for category in EMERGING_CATEGORIES:
+        result.category_fps[category] = {}
+    for variant, factory in VARIANTS.items():
+        sums: Dict[str, List[float]] = {c: [] for c in EMERGING_CATEGORIES}
+        for app in emerging_apps(seed=seed, per_category=apps_per_category):
+            run = run_app(app, "vSoC", machine_spec, duration_ms, seed=seed,
+                          factory=factory)
+            if run.result.ran:
+                sums[app.category].append(run.result.fps)
+        for category, values in sums.items():
+            if values:
+                result.category_fps[category][variant] = sum(values) / len(values)
+    return result
+
+
+@dataclass
+class AccessLatencyResult:
+    """Fig 16: SVM access latency distribution with prefetch off."""
+
+    samples: List[float]
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        return cdf_points(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+def run_fig16(
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    seed: int = 0,
+    prefetch: bool = False,
+) -> AccessLatencyResult:
+    """Access-latency CDF on UHD video with the prefetch engine toggled.
+
+    ``prefetch=False`` is the paper's Fig 16 configuration (write-
+    invalidate); pass ``True`` to see the healthy baseline for contrast.
+    """
+    from repro.apps.video import UhdVideoApp
+
+    factory = functools.partial(make_vsoc, prefetch=prefetch)
+    run = run_app(UhdVideoApp(), "vSoC", machine_spec, duration_ms, seed=seed,
+                  factory=factory)
+    samples = run.stats.access_latencies() if run.stats is not None else []
+    return AccessLatencyResult(samples=samples)
+
+
+@dataclass
+class PopularBreakdownResult:
+    """§5.5's popular-app ablation numbers."""
+
+    variant: str
+    per_app_fps: Dict[str, float]
+    baseline_fps: Dict[str, float]
+
+    @property
+    def apps_with_drops(self) -> int:
+        """Apps losing more than half an FPS versus full vSoC."""
+        return sum(
+            1
+            for name, fps in self.per_app_fps.items()
+            if self.baseline_fps.get(name, 0.0) - fps > 0.5
+        )
+
+    @property
+    def average_drop_percent(self) -> float:
+        drops = []
+        for name, fps in self.per_app_fps.items():
+            base = self.baseline_fps.get(name)
+            if base:
+                drops.append(100.0 * (1.0 - fps / base))
+        return sum(drops) / len(drops) if drops else 0.0
+
+
+def run_popular_breakdown(
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    seed: int = 0,
+) -> Dict[str, PopularBreakdownResult]:
+    """§5.5: both ablations over the top-25 popular apps."""
+    fps_by_variant: Dict[str, Dict[str, float]] = {}
+    for variant, factory in VARIANTS.items():
+        fps: Dict[str, float] = {}
+        for app in popular_apps(seed=seed):
+            run = run_app(app, "vSoC", machine_spec, duration_ms, seed=seed,
+                          factory=factory)
+            if run.result.ran:
+                fps[app.name] = run.result.fps
+        fps_by_variant[variant] = fps
+    baseline = fps_by_variant["vSoC"]
+    return {
+        variant: PopularBreakdownResult(variant, fps, baseline)
+        for variant, fps in fps_by_variant.items()
+        if variant != "vSoC"
+    }

@@ -1,0 +1,77 @@
+"""Instance density: how many emulators fit on one host?
+
+Not a paper figure, but the deployment question behind it — vSoC ships in
+an IDE, and device-farm / cloud-rendering deployments (§7's DroidCloud and
+CARE) care about instances-per-host. Because every emulator instance in
+this library binds to the *same* :class:`~repro.hw.machine.HostMachine`,
+running several at once contends for the real shared resources: the GPU's
+engines, the PCIe link, and the boundary path. The unified framework's
+lower bus traffic translates directly into higher density.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.apps.video import UhdVideoApp
+from repro.emulators import EMULATOR_FACTORIES
+from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec, build_machine
+from repro.sim import Simulator
+
+
+@dataclass
+class DensityResult:
+    """Mean per-instance FPS at each instance count."""
+
+    emulator: str
+    machine: str
+    fps_by_instances: Dict[int, float] = field(default_factory=dict)
+
+    def max_instances_at(self, fps_floor: float) -> int:
+        """Largest tested instance count whose mean FPS clears the floor."""
+        eligible = [n for n, fps in self.fps_by_instances.items() if fps >= fps_floor]
+        return max(eligible) if eligible else 0
+
+
+def run_density(
+    emulator_name: str,
+    instance_counts=(1, 2, 4),
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = 10_000.0,
+    seed: int = 0,
+) -> DensityResult:
+    """Run N video-playing emulator instances on one shared host."""
+    result = DensityResult(emulator=emulator_name, machine=machine_spec.name)
+    for count in instance_counts:
+        sim = Simulator()
+        machine = build_machine(sim, machine_spec)
+        apps: List[UhdVideoApp] = []
+        for index in range(count):
+            emulator = EMULATOR_FACTORIES[emulator_name](
+                sim, machine, rng=random.Random(seed + index)
+            )
+            app = UhdVideoApp(name=f"video-{index}")
+            if app.install(sim, emulator):
+                apps.append(app)
+        sim.run(until=duration_ms)
+        fps_values = [
+            app.fps.fps(duration_ms, warmup_ms=app.warmup_ms) for app in apps
+        ]
+        result.fps_by_instances[count] = sum(fps_values) / len(fps_values)
+    return result
+
+
+def run_density_comparison(
+    emulators=("vSoC", "GAE"),
+    instance_counts=(1, 2, 4),
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = 10_000.0,
+    seed: int = 0,
+) -> Dict[str, DensityResult]:
+    """Density curves for several emulators on the same host spec."""
+    return {
+        name: run_density(name, instance_counts, machine_spec, duration_ms, seed)
+        for name in emulators
+    }

@@ -1,0 +1,68 @@
+"""Figure 15 — FPS of the top-25 popular apps (§5.5).
+
+Bar values average only the apps an emulator can run (the paper's counts:
+25/21/17/25/24/24), with the pairwise comparison available for the
+common-subset check the paper performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.apps.catalog import popular_apps
+from repro.experiments.appbench import EMULATORS
+from repro.experiments.runner import DEFAULT_DURATION_MS, run_app
+from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
+
+
+@dataclass
+class PopularResult:
+    """One emulator's Fig 15 bar."""
+
+    emulator: str
+    per_app: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    @property
+    def runnable(self) -> int:
+        return sum(1 for fps in self.per_app.values() if fps is not None)
+
+    @property
+    def mean_fps(self) -> float:
+        values = [fps for fps in self.per_app.values() if fps is not None]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_fig15(
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    emulators: Sequence[str] = EMULATORS,
+    seed: int = 0,
+) -> Dict[str, PopularResult]:
+    """The popular-app FPS bars."""
+    results: Dict[str, PopularResult] = {}
+    for name in emulators:
+        result = PopularResult(emulator=name)
+        for app in popular_apps(seed=seed):
+            run = run_app(app, name, machine_spec, duration_ms, seed=seed)
+            result.per_app[app.name] = run.result.fps if run.result.ran else None
+        results[name] = result
+    return results
+
+
+def pairwise_improvement(results: Dict[str, PopularResult], baseline: str,
+                         reference: str = "vSoC") -> Optional[float]:
+    """vSoC's FPS advantage (%) over one emulator on commonly runnable apps."""
+    ref, base = results[reference], results[baseline]
+    common = [
+        name
+        for name, fps in ref.per_app.items()
+        if fps is not None and base.per_app.get(name) is not None
+    ]
+    if not common:
+        return None
+    ref_mean = sum(ref.per_app[n] for n in common) / len(common)
+    base_mean = sum(base.per_app[n] for n in common) / len(common)
+    if base_mean <= 0:
+        return None
+    return 100.0 * (ref_mean / base_mean - 1.0)

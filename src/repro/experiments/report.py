@@ -1,0 +1,81 @@
+"""Report rendering: ASCII tables and series shaped like the paper's.
+
+Every experiment's CLI output prints (a) the regenerated numbers and
+(b) the paper's reference values beside them, so "shape" comparisons
+(ordering, rough factors, crossovers) are immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.units import MIB
+
+#: Paper reference values, for side-by-side printing.
+PAPER_TABLE2 = {
+    ("vSoC", "high-end-desktop"): (0.34, 2.38, 3.49),
+    ("vSoC", "middle-end-laptop"): (0.38, 3.45, 3.24),
+    ("GAE", "high-end-desktop"): (0.76, 7.05, 1.56),
+    ("GAE", "middle-end-laptop"): (1.16, 11.27, 1.00),
+    ("QEMU-KVM", "high-end-desktop"): (0.22, 6.15, 0.96),
+    ("QEMU-KVM", "middle-end-laptop"): (0.25, 9.28, 0.89),
+}
+
+PAPER_RUNNABLE_EMERGING = {
+    "vSoC": 48, "GAE": 47, "QEMU-KVM": 42, "LDPlayer": 43, "Bluestacks": 44, "Trinity": 20,
+}
+PAPER_RUNNABLE_POPULAR = {
+    "vSoC": 25, "GAE": 21, "QEMU-KVM": 17, "LDPlayer": 25, "Bluestacks": 24, "Trinity": 24,
+}
+#: §5.3: vSoC's average FPS advantage on the high-end machine.
+PAPER_FIG10_IMPROVEMENT = {
+    "GAE": 82, "QEMU-KVM": 160, "LDPlayer": 292, "Bluestacks": 656, "Trinity": 797,
+}
+#: §5.5: vSoC's popular-app FPS advantage.
+PAPER_FIG15_IMPROVEMENT = {
+    "GAE": 49, "QEMU-KVM": 18, "LDPlayer": 23, "Bluestacks": 24, "Trinity": 12,
+}
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Plain fixed-width table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def fmt(value: Optional[float], digits: int = 2) -> str:
+    """Number or '--' for missing."""
+    if value is None:
+        return "--"
+    return f"{value:.{digits}f}"
+
+
+def format_cdf_summary(points: List[Tuple[float, float]], label: str) -> str:
+    """A CDF rendered as its key quantiles (the paper's figures in text)."""
+    if not points:
+        return f"{label}: (no samples)"
+    values = [v for v, _p in points]
+    n = len(values)
+
+    def q(fraction: float) -> float:
+        return values[min(n - 1, int(fraction * n))]
+
+    return (
+        f"{label}: n={n} p10={q(0.10):.2f} p50={q(0.50):.2f} "
+        f"p90={q(0.90):.2f} p99={q(0.99):.2f} max={values[-1]:.2f}"
+    )
+
+
+def format_sizes_mib(sizes: List[int]) -> str:
+    """Byte sizes as MiB strings (Fig 4's 9.9 / 15.8 MiB callouts)."""
+    return ", ".join(f"{s / MIB:.1f} MiB" for s in sizes)

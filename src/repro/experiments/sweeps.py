@@ -1,0 +1,93 @@
+"""Sensitivity sweeps: where does the architecture gap open and close?
+
+The paper's results hold on two fixed machines; these sweeps vary the
+machine to locate the crossovers:
+
+* :func:`sweep_boundary_bandwidth` — how fast would the virtualization
+  boundary have to be before the guest-memory architecture matches vSoC?
+  (The modular architecture's deficit is *bandwidth-bound*: with an
+  infinitely fast boundary, its two extra copies would be free.)
+* :func:`sweep_pcie_bandwidth` — how slow can the host's DMA path get
+  before prefetch can no longer hide coherence under the slack intervals?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Type
+
+from repro.apps.base import App
+from repro.apps.video import UhdVideoApp
+from repro.experiments.runner import run_app
+from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
+
+
+def _spec_with(base: MachineSpec, **overrides) -> MachineSpec:
+    return dataclasses.replace(base, **overrides)
+
+
+def sweep_boundary_bandwidth(
+    gbps_values: Sequence[float] = (2.0, 4.6, 9.0, 18.0, 36.0),
+    emulator: str = "GAE",
+    app_cls: Type[App] = UhdVideoApp,
+    base: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = 8_000.0,
+    seed: int = 0,
+) -> Dict[float, float]:
+    """FPS of a guest-memory emulator as its boundary path speeds up."""
+    results: Dict[float, float] = {}
+    for gbps in gbps_values:
+        spec = _spec_with(base, boundary_copy_gbps=gbps)
+        run = run_app(app_cls(), emulator, machine_spec=spec,
+                      duration_ms=duration_ms, seed=seed)
+        results[gbps] = run.result.fps
+    return results
+
+
+def sweep_pcie_bandwidth(
+    gbps_values: Sequence[float] = (1.0, 2.0, 3.5, 7.0, 14.0),
+    emulator: str = "vSoC",
+    app_cls: Type[App] = UhdVideoApp,
+    base: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = 8_000.0,
+    seed: int = 0,
+) -> Dict[float, float]:
+    """vSoC's FPS as the host→GPU DMA path degrades.
+
+    Prefetch hides coherence while the copy fits under the slack interval
+    (~8-16 ms); once the UHD-frame copy time crosses it, compensation and
+    chain reactions start eating frames.
+    """
+    results: Dict[float, float] = {}
+    for gbps in gbps_values:
+        spec = _spec_with(base, pcie_gbps=gbps)
+        run = run_app(app_cls(), emulator, machine_spec=spec,
+                      duration_ms=duration_ms, seed=seed)
+        results[gbps] = run.result.fps
+    return results
+
+
+def boundary_crossover(
+    reference_fps: Optional[float] = None,
+    tolerance: float = 0.95,
+    base: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = 8_000.0,
+    gbps_values: Sequence[float] = (4.6, 9.0, 18.0, 36.0, 72.0),
+    seed: int = 0,
+) -> Optional[float]:
+    """Smallest swept boundary bandwidth at which GAE reaches ``tolerance``
+    of vSoC's FPS — i.e. how much faster the boundary would need to be for
+    the modular architecture to catch up. ``None`` if it never does
+    (decode-bound emulators can't be fixed by memory bandwidth alone)."""
+    if reference_fps is None:
+        reference_fps = run_app(
+            UhdVideoApp(), "vSoC", machine_spec=base, duration_ms=duration_ms,
+            seed=seed,
+        ).result.fps
+    sweep = sweep_boundary_bandwidth(
+        gbps_values, base=base, duration_ms=duration_ms, seed=seed
+    )
+    for gbps in sorted(sweep):
+        if sweep[gbps] >= tolerance * reference_fps:
+            return gbps
+    return None

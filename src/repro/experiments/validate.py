@@ -1,0 +1,166 @@
+"""One-shot validation of the paper's headline claims.
+
+Runs a quick version of every experiment and checks the *shape* contracts
+this reproduction promises (DESIGN.md §4): orderings, rough factors,
+crossovers. Intended as the artifact-evaluation entry point:
+
+    python -m repro.experiments validate
+
+Each claim prints PASS/FAIL with the measured values; the function returns
+the list of failures (empty = fully validated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.units import MIB
+
+
+@dataclass
+class Claim:
+    """One validated statement about the reproduction."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _claim(claims: List[Claim], name: str, passed: bool, detail: str) -> None:
+    claims.append(Claim(name=name, passed=passed, detail=detail))
+
+
+def validate(duration_ms: float = 8_000.0, apps_per_category: int = 2,
+             verbose: bool = True) -> List[Claim]:
+    """Run the validation suite; returns all claims (check ``passed``)."""
+    claims: List[Claim] = []
+
+    # --- Table 2 -----------------------------------------------------------
+    from repro.experiments.microbench import run_svm_microbench
+    from repro.hw.machine import HIGH_END_DESKTOP
+
+    micro = {
+        name: run_svm_microbench(name, HIGH_END_DESKTOP, duration_ms)
+        for name in ("vSoC", "GAE", "QEMU-KVM")
+    }
+    _claim(
+        claims, "T2: coherence ordering vSoC < QEMU-KVM < GAE",
+        micro["vSoC"].coherence_cost_ms < micro["QEMU-KVM"].coherence_cost_ms
+        < micro["GAE"].coherence_cost_ms,
+        f"{micro['vSoC'].coherence_cost_ms:.2f} < "
+        f"{micro['QEMU-KVM'].coherence_cost_ms:.2f} < "
+        f"{micro['GAE'].coherence_cost_ms:.2f} ms (paper: 2.38 < 6.15 < 7.05)",
+    )
+    _claim(
+        claims, "T2: access latency ordering QEMU-KVM < vSoC < GAE",
+        micro["QEMU-KVM"].access_latency_ms < micro["vSoC"].access_latency_ms
+        < micro["GAE"].access_latency_ms,
+        f"{micro['QEMU-KVM'].access_latency_ms:.2f} < "
+        f"{micro['vSoC'].access_latency_ms:.2f} < "
+        f"{micro['GAE'].access_latency_ms:.2f} ms (paper: 0.22 < 0.34 < 0.76)",
+    )
+    _claim(
+        claims, "T2: throughput ordering vSoC > GAE > QEMU-KVM",
+        micro["vSoC"].throughput_gbps > micro["GAE"].throughput_gbps
+        > micro["QEMU-KVM"].throughput_gbps,
+        f"{micro['vSoC'].throughput_gbps:.2f} > {micro['GAE'].throughput_gbps:.2f} > "
+        f"{micro['QEMU-KVM'].throughput_gbps:.2f} GB/s (paper: 3.49 > 1.56 > 0.96)",
+    )
+    _claim(
+        claims, "§5.2: prediction accuracy >= 99%",
+        micro["vSoC"].prediction_accuracy >= 0.99,
+        f"{100 * micro['vSoC'].prediction_accuracy:.1f}%",
+    )
+    _claim(
+        claims, "§5.2: framework memory overhead <= 3.1 MiB",
+        micro["vSoC"].framework_overhead_bytes <= 3.1 * MIB,
+        f"{micro['vSoC'].framework_overhead_bytes / MIB:.3f} MiB",
+    )
+    _claim(
+        claims, "§5.2: engine CPU overhead < 1%",
+        micro["vSoC"].cpu_overhead_fraction < 0.01,
+        f"{100 * micro['vSoC'].cpu_overhead_fraction:.3f}%",
+    )
+
+    # --- Figure 10 -----------------------------------------------------------
+    from repro.experiments.appbench import run_fig10
+
+    fig10 = run_fig10(duration_ms=duration_ms, apps_per_category=apps_per_category)
+    means = {name: r.mean_fps for name, r in fig10.items()}
+    _claim(
+        claims, "F10: emerging-app FPS ordering",
+        means["vSoC"] > means["GAE"] > means["QEMU-KVM"]
+        > means["LDPlayer"] > means["Bluestacks"] > means["Trinity"],
+        " > ".join(f"{k}={v:.1f}" for k, v in means.items()),
+    )
+    _claim(
+        claims, "F10: vSoC near full rate, >=1.5x best baseline",
+        means["vSoC"] > 50.0 and means["vSoC"] > 1.5 * means["GAE"],
+        f"vSoC={means['vSoC']:.1f}, GAE={means['GAE']:.1f} (paper: 57 vs ~31)",
+    )
+    latency = {
+        name: r.mean_latency for name, r in fig10.items() if r.mean_latency
+    }
+    _claim(
+        claims, "F13: vSoC motion-to-photon lowest, sub-100 ms",
+        latency["vSoC"] < 100.0
+        and all(latency["vSoC"] < v for k, v in latency.items() if k != "vSoC"),
+        ", ".join(f"{k}={v:.0f}ms" for k, v in latency.items()),
+    )
+
+    # --- Figure 12 ablations -----------------------------------------------------
+    from repro.experiments.breakdown import run_fig12, run_fig16
+
+    fig12 = run_fig12(duration_ms=duration_ms, apps_per_category=apps_per_category)
+    no_prefetch = fig12.drop_percent("no-prefetch")
+    no_fence = fig12.drop_percent("no-fence")
+    video = fig12.category_fps["UHD Video"]
+    video_drop = 100.0 * (1.0 - video["no-prefetch"] / video["vSoC"])
+    _claim(
+        claims, "F12: prefetch ablation -15..50% avg, video hit hardest",
+        15.0 < no_prefetch < 50.0 and video_drop >= no_prefetch,
+        f"avg -{no_prefetch:.0f}%, video -{video_drop:.0f}% (paper: -30%, video -66%)",
+    )
+    _claim(
+        claims, "F12: fence ablation hurts, less than prefetch",
+        0.0 < no_fence < no_prefetch,
+        f"-{no_fence:.0f}% (paper: -11%)",
+    )
+
+    fig16 = run_fig16(duration_ms=duration_ms, prefetch=False)
+    _claim(
+        claims, "F16: write-invalidate blocks tens of ms",
+        fig16.maximum > 10.0,
+        f"max {fig16.maximum:.1f} ms (paper: up to 40.54 ms)",
+    )
+
+    # --- Figure 15 -----------------------------------------------------------
+    from repro.experiments.popular import pairwise_improvement, run_fig15
+
+    fig15 = run_fig15(duration_ms=duration_ms)
+    gains = {
+        name: pairwise_improvement(fig15, name)
+        for name in fig15 if name != "vSoC"
+    }
+    _claim(
+        claims, "F15: popular-app gains moderate (5-70% band)",
+        all(5.0 < g < 70.0 for g in gains.values()),
+        ", ".join(f"{k}+{v:.0f}%" for k, v in gains.items()) + " (paper: 12-49%)",
+    )
+    counts = {name: r.runnable for name, r in fig15.items()}
+    _claim(
+        claims, "§5.5: popular runnable counts 25/21/17/25/24/24",
+        counts == {"vSoC": 25, "GAE": 21, "QEMU-KVM": 17,
+                   "LDPlayer": 25, "Bluestacks": 24, "Trinity": 24},
+        str(counts),
+    )
+
+    if verbose:
+        for claim in claims:
+            status = "PASS" if claim.passed else "FAIL"
+            print(f"[{status}] {claim.name}")
+            print(f"       {claim.detail}")
+        failures = [c for c in claims if not c.passed]
+        print(f"\n{len(claims) - len(failures)}/{len(claims)} claims validated.")
+    return claims

@@ -1,0 +1,21 @@
+"""Guest (mobile OS) substrate.
+
+Models the pieces of Android/OpenHarmony the SVM framework observes: the
+shared-memory HAL of Figure 3, BufferQueue-style producer/consumer chains,
+the VSync choreographer, the virtio transport, and the system services
+(media service, SurfaceFlinger, camera service) that §2.3 identifies as
+the top shared-memory users.
+"""
+
+from repro.guest.buffers import BufferQueue, GuestBuffer
+from repro.guest.hal import SharedMemoryHal
+from repro.guest.transport import VirtioTransport
+from repro.guest.vsync import VSyncSource
+
+__all__ = [
+    "SharedMemoryHal",
+    "BufferQueue",
+    "GuestBuffer",
+    "VSyncSource",
+    "VirtioTransport",
+]

@@ -1,0 +1,51 @@
+"""Host hardware substrate.
+
+Models the PC/server side of the architecture gap described in §2 of the
+vSoC paper: modular devices with dedicated local memory, connected to main
+memory by buses. The two machines from §5.1 (high-end desktop, middle-end
+laptop) are available as presets.
+"""
+
+from repro.hw.bus import Bus, DmaEngine
+from repro.hw.device import (
+    Camera,
+    Cpu,
+    DeviceKind,
+    Display,
+    Gpu,
+    HwCodec,
+    IspEngine,
+    Nic,
+    PhysicalDevice,
+)
+from repro.hw.machine import (
+    HIGH_END_DESKTOP,
+    MIDDLE_END_LAPTOP,
+    HostMachine,
+    MachineSpec,
+    build_machine,
+)
+from repro.hw.memory import MemoryPool, MemoryRegion
+from repro.hw.thermal import ThermalModel
+
+__all__ = [
+    "MemoryPool",
+    "MemoryRegion",
+    "Bus",
+    "DmaEngine",
+    "DeviceKind",
+    "PhysicalDevice",
+    "Cpu",
+    "Gpu",
+    "HwCodec",
+    "IspEngine",
+    "Camera",
+    "Display",
+    "Nic",
+    "ThermalModel",
+    "HostMachine",
+    "MachineSpec",
+    "HIGH_END_DESKTOP",
+    "MIDDLE_END_LAPTOP",
+    "build_machine",
+]

@@ -1,0 +1,131 @@
+"""Buses and DMA: the links over which coherence maintenance copies move.
+
+A :class:`Bus` models one interconnect (PCIe link to the GPU, the memory
+controller used by CPU memcpy, the virtio path across the virtualization
+boundary). Transfers are serialized FIFO — the dominant effect the paper
+measures is transfer *time* (size / bandwidth) plus fixed latency, with
+contention appearing as queueing delay.
+
+A :class:`DmaEngine` runs transfers on behalf of a device without occupying
+the (simulated) CPU, matching §4: "the prefetch engine uses the DMA
+capabilities of supported devices to help reduce CPU load."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import HardwareError
+from repro.sim import Mutex, Simulator, Timeout
+from repro.sim.kernel import Process
+from repro.units import to_gb_per_s
+
+
+class Bus:
+    """One interconnect with fixed latency and finite bandwidth.
+
+    Parameters
+    ----------
+    bandwidth:
+        Bytes per millisecond (use :func:`repro.units.gb_per_s`).
+    latency:
+        Fixed per-transfer setup time in ms (arbitration, doorbells).
+
+    The bus records total bytes moved and busy time, from which
+    :meth:`observed_bandwidth` derives the figure the prefetch engine's
+    physical hypergraph layer tracks (§3.2). ``set_load`` injects external
+    contention: a load of 0.5 halves the bandwidth available to transfers,
+    which is how experiments exercise the paper's "suspend prefetch below
+    50% of maximum observed bandwidth" policy.
+    """
+
+    def __init__(self, sim: Simulator, name: str, bandwidth: float, latency: float = 0.0):
+        if bandwidth <= 0:
+            raise HardwareError(f"bus {name!r} bandwidth must be positive")
+        if latency < 0:
+            raise HardwareError(f"bus {name!r} latency must be >= 0")
+        self._sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._load = 0.0
+        self._lock = Mutex(sim, name=f"bus:{name}")
+        self.bytes_moved = 0
+        self.busy_time = 0.0
+        self.transfer_count = 0
+
+    # -- contention injection ------------------------------------------------
+    def set_load(self, load: float) -> None:
+        """Set external contention in [0, 1); available bw = bw * (1-load)."""
+        if not 0.0 <= load < 1.0:
+            raise HardwareError(f"bus load must be in [0, 1), got {load}")
+        self._load = load
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth available to new transfers, after external load."""
+        return self.bandwidth * (1.0 - self._load)
+
+    # -- transfers --------------------------------------------------------------
+    def transfer_time(self, nbytes: int) -> float:
+        """Time one transfer would take right now (no queueing)."""
+        if nbytes < 0:
+            raise HardwareError("transfer size must be >= 0")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.effective_bandwidth
+
+    def transfer(self, nbytes: int) -> Generator[Any, Any, float]:
+        """Process: move ``nbytes`` over the bus; returns the elapsed time.
+
+        Serialized FIFO with other transfers on the same bus, so concurrent
+        coherence maintenance and prefetch traffic queue behind each other
+        exactly as on a real link.
+        """
+        start = self._sim.now
+        yield self._lock.acquire()
+        try:
+            duration = self.transfer_time(nbytes)
+            if duration > 0:
+                yield Timeout(duration)
+            self.bytes_moved += nbytes
+            self.busy_time += duration
+            self.transfer_count += 1
+        finally:
+            self._lock.release()
+        return self._sim.now - start
+
+    # -- statistics ---------------------------------------------------------
+    def observed_bandwidth(self) -> float:
+        """Average achieved bytes/ms over all completed transfers."""
+        if self.busy_time <= 0:
+            return self.effective_bandwidth
+        return self.bytes_moved / self.busy_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Bus {self.name!r} {to_gb_per_s(self.bandwidth):.2f} GB/s "
+            f"lat={self.latency:.3f}ms load={self._load:.2f}>"
+        )
+
+
+class DmaEngine:
+    """Asynchronous transfer launcher for a device's bus.
+
+    ``start(nbytes)`` spawns the transfer as its own process and returns the
+    :class:`~repro.sim.kernel.Process`, which callers may join (``yield``)
+    or leave running in the background — the two halves of the paper's
+    synchronous-compensation + asynchronous-remainder prefetch (§3.3).
+    """
+
+    def __init__(self, sim: Simulator, bus: Bus, name: str = "dma"):
+        self._sim = sim
+        self.bus = bus
+        self.name = name
+        self.transfers_started = 0
+
+    def start(self, nbytes: int, label: Optional[str] = None) -> Process:
+        """Begin an async transfer; returns its process handle."""
+        self.transfers_started += 1
+        name = label or f"{self.name}.xfer{self.transfers_started}"
+        return self._sim.spawn(self.bus.transfer(nbytes), name=name)

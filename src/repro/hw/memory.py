@@ -1,0 +1,94 @@
+"""Memory pools and regions: byte accounting for host and device memory.
+
+The simulator never stores actual payload bytes — what matters to the paper's
+results is *where copies happen and how long they take*. A
+:class:`MemoryPool` therefore tracks allocation sizes (for the §5.2 memory
+overhead numbers and for catching leaks in tests), and a
+:class:`MemoryRegion` is a handle naming an allocation inside a pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.errors import HardwareError
+
+
+class MemoryRegion:
+    """A live allocation inside a :class:`MemoryPool`."""
+
+    __slots__ = ("pool", "region_id", "nbytes", "tag", "freed")
+
+    def __init__(self, pool: "MemoryPool", region_id: int, nbytes: int, tag: str):
+        self.pool = pool
+        self.region_id = region_id
+        self.nbytes = nbytes
+        self.tag = tag
+        self.freed = False
+
+    def free(self) -> None:
+        """Release the allocation back to its pool. Idempotent errors raise."""
+        self.pool.free(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self.freed else "live"
+        return f"<MemoryRegion #{self.region_id} {self.nbytes}B tag={self.tag!r} {state}>"
+
+
+class MemoryPool:
+    """A fixed-capacity byte pool (host RAM, GPU VRAM, guest RAM, ...).
+
+    Tracks in-use and peak bytes. Allocation beyond capacity raises —
+    emulator models size their working sets to fit, and the tests use this
+    to prove the SVM framework's bounded memory overhead (§5.2: ≤3.1 MiB).
+    """
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise HardwareError(f"pool {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self.peak = 0
+        self._ids = itertools.count(1)
+        self._live: Dict[int, MemoryRegion] = {}
+
+    def allocate(self, nbytes: int, tag: str = "") -> MemoryRegion:
+        """Allocate ``nbytes``; raises :class:`HardwareError` on exhaustion."""
+        if nbytes <= 0:
+            raise HardwareError(f"allocation size must be positive, got {nbytes}")
+        if self.in_use + nbytes > self.capacity:
+            raise HardwareError(
+                f"pool {self.name!r} exhausted: {self.in_use}+{nbytes} > {self.capacity}"
+            )
+        region = MemoryRegion(self, next(self._ids), nbytes, tag)
+        self._live[region.region_id] = region
+        self.in_use += nbytes
+        self.peak = max(self.peak, self.in_use)
+        return region
+
+    def free(self, region: MemoryRegion) -> None:
+        """Release a region allocated from this pool."""
+        if region.pool is not self:
+            raise HardwareError(
+                f"region #{region.region_id} belongs to pool {region.pool.name!r}, "
+                f"not {self.name!r}"
+            )
+        if region.freed:
+            raise HardwareError(f"double free of region #{region.region_id}")
+        region.freed = True
+        del self._live[region.region_id]
+        self.in_use -= region.nbytes
+
+    @property
+    def live_regions(self) -> int:
+        """Number of outstanding allocations."""
+        return len(self._live)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.in_use
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryPool {self.name!r} {self.in_use}/{self.capacity}B peak={self.peak}>"

@@ -1,0 +1,102 @@
+"""Thermal throttling model.
+
+§5.3 of the paper observes that on the middle-end laptop, video apps on the
+Google Android Emulator start near 30 FPS and collapse to ~10 FPS within a
+minute due to CPU thermal throttling of its software video decoder. We model
+this with a leaky-bucket heat account: busy time adds heat, idle time drains
+it, and crossing a threshold multiplies device speed by a throttle factor
+(with hysteresis, so the device does not oscillate every event).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+
+
+class ThermalModel:
+    """Leaky-bucket heat accounting with hysteresis throttling.
+
+    Parameters
+    ----------
+    heat_per_busy_ms:
+        Heat units accumulated per ms of full-speed busy work.
+    cool_per_ms:
+        Heat units drained per ms of wall-clock (always active).
+    throttle_at:
+        Heat level at which the device enters the throttled state.
+    recover_at:
+        Heat level at which it leaves the throttled state (< throttle_at).
+    throttled_factor:
+        Speed multiplier while throttled (e.g. 0.35 → ops take ~3x longer).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        heat_per_busy_ms: float = 1.0,
+        cool_per_ms: float = 0.35,
+        throttle_at: float = 20_000.0,
+        recover_at: float = 12_000.0,
+        throttled_factor: float = 0.35,
+    ):
+        if not 0 < throttled_factor <= 1.0:
+            raise ConfigurationError("throttled_factor must be in (0, 1]")
+        if recover_at >= throttle_at:
+            raise ConfigurationError("recover_at must be below throttle_at")
+        if cool_per_ms >= heat_per_busy_ms:
+            raise ConfigurationError(
+                "cooling must be slower than heating or throttling never occurs"
+            )
+        self._sim = sim
+        self.heat_per_busy_ms = heat_per_busy_ms
+        self.cool_per_ms = cool_per_ms
+        self.throttle_at = throttle_at
+        self.recover_at = recover_at
+        self.throttled_factor = throttled_factor
+        self._heat = 0.0
+        self._last_update = 0.0
+        self._throttled = False
+        self.throttle_events = 0
+
+    def _settle(self) -> None:
+        """Apply cooling for the wall-clock time since the last update."""
+        now = self._sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._heat = max(0.0, self._heat - elapsed * self.cool_per_ms)
+            self._last_update = now
+        self._refresh_state()
+
+    def _refresh_state(self) -> None:
+        if self._throttled:
+            if self._heat <= self.recover_at:
+                self._throttled = False
+        elif self._heat >= self.throttle_at:
+            self._throttled = True
+            self.throttle_events += 1
+
+    # -- public API ---------------------------------------------------------
+    def note_busy(self, busy_ms: float) -> None:
+        """Record ``busy_ms`` of full-speed-equivalent device work."""
+        if busy_ms < 0:
+            raise ConfigurationError("busy time must be >= 0")
+        self._settle()
+        self._heat += busy_ms * self.heat_per_busy_ms
+        self._refresh_state()
+
+    def speed_factor(self) -> float:
+        """Current speed multiplier: 1.0 normally, throttled_factor when hot."""
+        self._settle()
+        return self.throttled_factor if self._throttled else 1.0
+
+    @property
+    def heat(self) -> float:
+        """Current heat level (after settling cooling)."""
+        self._settle()
+        return self._heat
+
+    @property
+    def throttled(self) -> bool:
+        self._settle()
+        return self._throttled

@@ -1,0 +1,14 @@
+"""Measurement machinery: collectors fed by pipelines and trace analysis."""
+
+from repro.metrics.collectors import FpsCollector, LatencyCollector, SvmStats
+from repro.metrics.stats import cdf_points, mean, percentile, summarize
+
+__all__ = [
+    "FpsCollector",
+    "LatencyCollector",
+    "SvmStats",
+    "mean",
+    "percentile",
+    "cdf_points",
+    "summarize",
+]

@@ -1,0 +1,110 @@
+"""Collectors pipelines feed during a run.
+
+* :class:`FpsCollector` — the ``dumpsys``-style frame counter (§5.3):
+  counts presented frames and the reasons frames never made it.
+* :class:`LatencyCollector` — motion-to-photon samples: presentation time
+  minus the frame's birth (capture / arrival) time.
+* :class:`SvmStats` — post-hoc digestion of a :class:`TraceLog` into the
+  Table 2 metrics (access latency, coherence cost, throughput).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import mean, percentile
+from repro.sim.tracing import TraceLog
+from repro.units import SECOND
+
+
+class FpsCollector:
+    """Frame accounting for one app run."""
+
+    def __init__(self) -> None:
+        self.presented = 0
+        self.present_times: List[float] = []
+        self.dropped: Dict[str, int] = {}
+
+    def note_presented(self, now: float) -> None:
+        self.presented += 1
+        self.present_times.append(now)
+
+    def note_dropped(self, reason: str) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    def fps(self, duration_ms: float, warmup_ms: float = 0.0) -> float:
+        """Average presented frames per second over the run.
+
+        ``warmup_ms`` excludes startup (cold caches, cold hypergraphs) the
+        same way a measurement would skip the first seconds of dumpsys.
+        """
+        window = duration_ms - warmup_ms
+        if window <= 0:
+            return 0.0
+        counted = sum(1 for t in self.present_times if t >= warmup_ms)
+        return counted / (window / SECOND)
+
+    def fps_timeline(self, duration_ms: float, bucket_ms: float = SECOND) -> List[float]:
+        """Per-bucket FPS — used for the thermal-collapse timeline (§5.3)."""
+        buckets = int(duration_ms // bucket_ms)
+        counts = [0] * max(buckets, 1)
+        for t in self.present_times:
+            index = int(t // bucket_ms)
+            if index < len(counts):
+                counts[index] += 1
+        return [c / (bucket_ms / SECOND) for c in counts]
+
+
+class LatencyCollector:
+    """Motion-to-photon latency samples."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def note(self, latency_ms: float) -> None:
+        self.samples.append(latency_ms)
+
+    @property
+    def average(self) -> Optional[float]:
+        return mean(self.samples) if self.samples else None
+
+    def p95(self) -> Optional[float]:
+        return percentile(self.samples, 95) if self.samples else None
+
+
+class SvmStats:
+    """Table 2 metrics distilled from a trace log."""
+
+    def __init__(self, trace: TraceLog, duration_ms: float):
+        self.trace = trace
+        self.duration_ms = duration_ms
+
+    def access_latencies(self) -> List[float]:
+        return [float(v) for v in self.trace.values("svm.access_latency", "latency")]
+
+    def coherence_durations(self) -> List[float]:
+        return [float(v) for v in self.trace.values("coherence.maintenance", "duration")]
+
+    def slack_intervals(self) -> List[float]:
+        return [float(v) for v in self.trace.values("svm.slack", "slack")]
+
+    def average_access_latency(self) -> Optional[float]:
+        values = self.access_latencies()
+        return mean(values) if values else None
+
+    def average_coherence_cost(self) -> Optional[float]:
+        values = self.coherence_durations()
+        return mean(values) if values else None
+
+    def throughput_bytes_per_ms(self) -> float:
+        """Total SVM bytes accessed / duration (§5.2's definition, minus
+        data wasted by prefetch failures — wasted copies are traced as
+        maintenances, not accesses, so they are excluded by construction)."""
+        total = sum(int(v) for v in self.trace.values("svm.access_latency", "bytes"))
+        if self.duration_ms <= 0:
+            return 0.0
+        return total / self.duration_ms

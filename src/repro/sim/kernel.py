@@ -1,0 +1,250 @@
+"""The discrete-event simulation kernel: clock, event heap, and processes.
+
+Design
+------
+The kernel is a classic event-heap simulator. Time is a ``float`` in
+milliseconds (see :mod:`repro.units`). Two execution styles coexist:
+
+* **Callbacks** — :meth:`Simulator.schedule` runs a plain function at a
+  future simulated time. Used for one-shot timers (VSync ticks, watchdogs).
+* **Processes** — :meth:`Simulator.spawn` drives a generator coroutine.
+  A process ``yield``\\ s *waitables* (:class:`~repro.sim.primitives.Timeout`,
+  :class:`~repro.sim.primitives.SimEvent`, another :class:`Process`, ...)
+  and is resumed when the waitable fires, receiving the waitable's value as
+  the result of the ``yield`` expression. This is how device executors,
+  guest drivers and app pipelines are written.
+
+Determinism
+-----------
+Events scheduled for the same timestamp run in scheduling order (a
+monotonically increasing sequence number breaks ties). No wall-clock or
+unseeded randomness is ever consulted, so a run is a pure function of its
+inputs — tests assert trace-for-trace reproducibility.
+
+Error handling
+--------------
+An exception escaping a process is captured and re-raised from
+:meth:`Simulator.run` (fail fast). Processes waiting on a failed process
+observe the same exception at their ``yield``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.primitives import Timeout, Waitable
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class ScheduledCall:
+    """Handle for a callback registered with :meth:`Simulator.schedule`.
+
+    Supports cancellation: a cancelled call stays in the heap but is
+    skipped when popped (lazy deletion), which keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.3f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Process(Waitable):
+    """A generator coroutine driven by the simulator.
+
+    A ``Process`` is itself a :class:`Waitable`: other processes can
+    ``yield proc`` to join on its completion and receive its return value.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in traces and error messages.
+    alive:
+        ``True`` until the generator returns or raises.
+    value:
+        The generator's return value once finished.
+    exception:
+        The exception that terminated the generator, if any.
+    """
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "process"):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.alive = True
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+
+    # -- Waitable protocol -------------------------------------------------
+    def add_callback(self, fn: Callable[[Any, Optional[BaseException]], None]) -> None:
+        if not self.alive:
+            self._sim.schedule(0.0, fn, self.value, self.exception)
+        else:
+            self._callbacks.append(fn)
+
+    # -- internal ----------------------------------------------------------
+    def _start(self) -> None:
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Advance the generator by one yield, wiring up the next waitable."""
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as err:  # noqa: BLE001 - captured and re-raised by run()
+            self._finish(None, err)
+            return
+
+        if isinstance(target, Timeout):
+            self._sim.schedule(target.delay, self._step, target.value, None)
+        elif isinstance(target, Waitable):
+            target.add_callback(self._step)
+        else:
+            bad = SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected a Waitable or Timeout"
+            )
+            self._finish(None, bad)
+
+    def _finish(self, value: Any, exc: Optional[BaseException]) -> None:
+        self.alive = False
+        self.value = value
+        self.exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        if exc is not None and not callbacks:
+            # Nobody is joined on this process: the exception would vanish.
+            # Surface it from Simulator.run() instead of failing silently.
+            self._sim._note_failure(self, exc)
+        for fn in callbacks:
+            self._sim.schedule(0.0, fn, value, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """Event loop and virtual clock for one simulated experiment.
+
+    Typical usage::
+
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(5.0)
+            return "done"
+
+        proc = sim.spawn(worker(), name="worker")
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, ScheduledCall]] = []
+        self._processes: List[Process] = []
+        self._failure: Optional[Tuple[Process, BaseException]] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` ms of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        call = ScheduledCall(self._now + delay, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (call.time, self._seq, call))
+        return call
+
+    def spawn(self, gen: ProcessGenerator, name: str = "process") -> Process:
+        """Start a generator coroutine as a simulation process.
+
+        The first step of the process runs via the event heap at the current
+        time, not synchronously — so ``spawn`` is safe to call from within
+        another process without re-entrancy surprises.
+        """
+        proc = Process(self, gen, name=name)
+        self._processes.append(proc)
+        self.schedule(0.0, proc._start)
+        return proc
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event. Returns False if the heap is empty."""
+        while self._heap:
+            time, _seq, call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            if time < self._now:
+                raise SimulationError("event heap time went backwards")
+            self._now = time
+            call.fn(*call.args)
+            self._raise_pending_failure()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, check_deadlock: bool = False) -> None:
+        """Run events until the heap drains or simulated time passes ``until``.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` even if
+        the last event fires earlier, so back-to-back ``run`` calls compose.
+        ``check_deadlock=True`` raises :class:`DeadlockError` if the heap
+        drains while processes are still alive (useful in unit tests).
+        """
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                break
+            self.step()
+        if until is not None and self._now < until:
+            self._now = until
+        if check_deadlock and not self._heap:
+            stuck = [p.name for p in self._processes if p.alive]
+            if stuck:
+                raise DeadlockError(f"no events left but processes blocked: {stuck}")
+
+    # -- failure propagation -------------------------------------------------
+    def _note_failure(self, proc: Process, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = (proc, exc)
+
+    def _raise_pending_failure(self) -> None:
+        if self._failure is not None:
+            proc, exc = self._failure
+            self._failure = None
+            raise SimulationError(f"process {proc.name!r} failed") from exc
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def live_processes(self) -> Iterable[Process]:
+        """Processes that have not yet finished."""
+        return [p for p in self._processes if p.alive]
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for _t, _s, c in self._heap if not c.cancelled)

@@ -1,0 +1,271 @@
+"""Synchronization primitives for simulation processes.
+
+Everything a process can ``yield`` is a :class:`Waitable` (except
+:class:`Timeout`, which the kernel special-cases for speed). Each primitive
+mirrors a construct the real vSoC implementation relies on:
+
+* :class:`Timeout` — modelled latency (a bus transfer, a decode, a VM exit).
+* :class:`SimEvent` — one-shot completion notification (an emulated
+  interrupt, a fence signal).
+* :class:`AllOf` — join on several completions (multi-read hyperedges).
+* :class:`Semaphore` / :class:`Mutex` — host-side locks guarding shared
+  device state.
+* :class:`FifoQueue` — command queues between guest drivers and host device
+  executors (§3.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+Callback = Callable[[Any, Optional[BaseException]], None]
+
+
+class Waitable:
+    """Protocol for objects a process may ``yield``.
+
+    Implementations call the registered callback exactly once with
+    ``(value, exception)``. If the waitable has already fired, the callback
+    must still be delivered asynchronously (via the event heap) so that
+    resume order stays deterministic.
+    """
+
+    def add_callback(self, fn: Callback) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Timeout:
+    """Suspend the yielding process for ``delay`` milliseconds.
+
+    ``value`` is returned from the ``yield`` expression on resume, which is
+    occasionally handy for pipelining (`result = yield Timeout(cost, result)`).
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay:.6g})"
+
+
+class SimEvent(Waitable):
+    """A one-shot event: fires once with a value, waking all waiters.
+
+    Late waiters (subscribing after :meth:`fire`) are woken immediately
+    (next event-loop turn) with the stored value — the semantics of checking
+    an already-signalled fence.
+    """
+
+    def __init__(self, sim: Any, name: str = "event"):
+        self._sim = sim
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callback] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter with ``value``."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._sim.schedule(0.0, fn, value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        """Fire the event with an exception; waiters see it at their yield."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._sim.schedule(0.0, fn, None, exc)
+
+    def add_callback(self, fn: Callback) -> None:
+        if self.fired:
+            self._sim.schedule(0.0, fn, self.value, self._exception)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class AllOf(Waitable):
+    """Fires when every child waitable has fired; value is the list of values.
+
+    The first child exception (if any) is propagated once all children have
+    completed, so no completion is lost.
+    """
+
+    def __init__(self, sim: Any, children: Sequence[Waitable]):
+        self._sim = sim
+        self._pending = len(children)
+        self._values: List[Any] = [None] * len(children)
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callback] = []
+        if not children:
+            self._done = True
+        else:
+            self._done = False
+            for index, child in enumerate(children):
+                child.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callback:
+        def on_child(value: Any, exc: Optional[BaseException]) -> None:
+            self._values[index] = value
+            if exc is not None and self._exception is None:
+                self._exception = exc
+            self._pending -= 1
+            if self._pending == 0:
+                self._done = True
+                callbacks, self._callbacks = self._callbacks, []
+                for fn in callbacks:
+                    self._sim.schedule(0.0, fn, self._values, self._exception)
+
+        return on_child
+
+    def add_callback(self, fn: Callback) -> None:
+        if self._done:
+            self._sim.schedule(0.0, fn, self._values, self._exception)
+        else:
+            self._callbacks.append(fn)
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup order.
+
+    ``yield sem.acquire()`` suspends until a permit is available;
+    :meth:`release` returns a permit. FIFO ordering keeps device command
+    execution deterministic under contention.
+    """
+
+    def __init__(self, sim: Any, permits: int, name: str = "semaphore"):
+        if permits < 0:
+            raise SimulationError("semaphore permits must be >= 0")
+        self._sim = sim
+        self.name = name
+        self._permits = permits
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of permits currently free."""
+        return self._permits
+
+    def acquire(self) -> Waitable:
+        """Return a waitable that fires once a permit has been granted."""
+        event = SimEvent(self._sim, name=f"{self.name}.acquire")
+        if self._permits > 0:
+            self._permits -= 1
+            event.fire(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Take a permit without waiting; returns False if none are free."""
+        if self._permits > 0:
+            self._permits -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a permit, waking the longest-waiting acquirer if any."""
+        if self._waiters:
+            self._waiters.popleft().fire(None)
+        else:
+            self._permits += 1
+
+
+class Mutex(Semaphore):
+    """Binary semaphore — a host-side lock."""
+
+    def __init__(self, sim: Any, name: str = "mutex"):
+        super().__init__(sim, permits=1, name=name)
+
+
+class FifoQueue:
+    """A FIFO channel between processes, optionally bounded.
+
+    Models the per-device command queues of §3.4: guest drivers ``put``
+    commands, host executor threads ``get`` them. With a capacity set,
+    ``put`` blocks when the queue is full (back-pressure — the role the MIMD
+    flow-control algorithm plays in vSoC).
+    """
+
+    def __init__(self, sim: Any, capacity: Optional[int] = None, name: str = "queue"):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("queue capacity must be positive or None")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self._putters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Waitable:
+        """Enqueue ``item``; the returned waitable fires once it is accepted."""
+        event = SimEvent(self._sim, name=f"{self.name}.put")
+        if self._getters:
+            # Hand the item straight to the longest-waiting consumer.
+            self._getters.popleft().fire(item)
+            event.fire(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.fire(None)
+        else:
+            event.value = item  # parked until space frees up
+            self._putters.append(event)
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the queue is full."""
+        if self._getters:
+            self._getters.popleft().fire(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Waitable:
+        """Dequeue one item; the returned waitable fires with the item."""
+        event = SimEvent(self._sim, name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            self._admit_parked_putter()
+            event.fire(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self):
+        """Non-blocking dequeue; returns the item or ``None`` when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_parked_putter()
+        return item
+
+    def _admit_parked_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self._items) < self.capacity):
+            putter = self._putters.popleft()
+            self._items.append(putter.value)
+            putter.value = None
+            putter.fire(None)

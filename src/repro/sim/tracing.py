@@ -1,0 +1,84 @@
+"""Structured trace records.
+
+The §2.3 measurement study and §5.2 microbenchmarks are built on
+instrumentation of the shared-memory interface and the emulators' SVM
+implementations. :class:`TraceLog` is our equivalent: components append
+:class:`TraceRecord` entries (an event kind plus free-form fields) and the
+experiment layer filters and aggregates them into the paper's CDFs and
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instrumentation event.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp (ms) at which the event was recorded.
+    kind:
+        Event class, e.g. ``"svm.begin_access"``, ``"coherence.copy"``,
+        ``"frame.presented"``, ``"prefetch.start"``.
+    fields:
+        Free-form payload (sizes, devices, durations, region IDs, ...).
+    """
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceLog:
+    """Append-only event log with simple filtering helpers.
+
+    Recording can be disabled wholesale (``enabled=False``) or narrowed to a
+    set of kinds, so long benchmark runs don't pay for instrumentation they
+    do not read.
+    """
+
+    def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None):
+        self.enabled = enabled
+        self._kinds = set(kinds) if kinds is not None else None
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append one record (no-op when disabled or kind-filtered out)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        """All records matching an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def values(self, kind: str, field_name: str) -> List[Any]:
+        """Extract one payload field from every record of ``kind``."""
+        return [r.fields[field_name] for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        """Drop every record (keeps enablement settings)."""
+        self._records.clear()

@@ -1,0 +1,54 @@
+"""Fast unit tests for the ablation experiments (heavy paths live in
+benchmarks/bench_ablations.py)."""
+
+import pytest
+
+from repro.experiments.ablations import sweep_alpha
+
+
+def test_alpha_sweep_deterministic():
+    assert sweep_alpha(seed=3) == sweep_alpha(seed=3)
+
+
+def test_alpha_sweep_minimum_near_half():
+    """§3.3's choice: α=0.5 minimizes slack forecast error on pipeline-like
+    series (stable level + noise + occasional rebuffering shifts)."""
+    errors = sweep_alpha()
+    best = min(errors, key=errors.get)
+    assert best == 0.5
+    assert errors[0.1] > errors[0.5] < errors[0.9]
+
+
+def test_alpha_sweep_custom_grid():
+    errors = sweep_alpha(alphas=(0.25, 0.75), samples=100)
+    assert set(errors) == {0.25, 0.75}
+    assert all(e > 0 for e in errors.values())
+
+
+def test_command_reprs():
+    from repro.core.ordering import ExecCommand, SignalFenceCommand, WaitFenceCommand
+    from repro.core.fence import VirtualFenceTable
+    from repro.core.region import SvmRegion
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    region = SvmRegion(7, 1024)
+    cmd = ExecCommand(sim, "render", 1024, writes=[region])
+    assert "render" in repr(cmd) and "#7" in repr(cmd)
+    fence = VirtualFenceTable(sim, capacity=4).allocate()
+    SignalFenceCommand(fence)
+    WaitFenceCommand(fence)
+    assert cmd.dirty_window(region) == 1024
+
+
+def test_dirty_window_clamps():
+    from repro.core.ordering import ExecCommand
+    from repro.core.region import SvmRegion
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    region = SvmRegion(1, 1000)
+    oversized = ExecCommand(sim, "render", 5000, writes=[region])
+    assert oversized.dirty_window(region) == 1000
+    windowed = ExecCommand(sim, "render", 5000, writes=[region], dirty_bytes=500)
+    assert windowed.dirty_window(region) == 500

@@ -1,0 +1,104 @@
+"""End-to-end app runs: each Table-1 category on vSoC and one baseline.
+
+These are the integration tests behind the Figure 10 benchmarks —
+deliberately short runs asserting the coarse behaviours, not exact FPS.
+"""
+
+import pytest
+
+from repro.apps import (
+    ArApp,
+    CameraApp,
+    Heavy3dApp,
+    LivestreamApp,
+    PopularApp,
+    UhdVideoApp,
+    Video360App,
+)
+from repro.experiments.runner import run_app
+from repro.hw.machine import MIDDLE_END_LAPTOP
+
+DURATION = 6_000.0
+
+
+@pytest.mark.parametrize("app_cls", [UhdVideoApp, Video360App, CameraApp, ArApp,
+                                     LivestreamApp, PopularApp, Heavy3dApp])
+def test_every_category_runs_smoothly_on_vsoc(app_cls):
+    run = run_app(app_cls(), "vSoC", duration_ms=DURATION)
+    assert run.result.ran
+    assert run.result.fps > 45.0, app_cls.__name__
+
+
+@pytest.mark.parametrize("app_cls", [UhdVideoApp, CameraApp, LivestreamApp])
+def test_gae_runs_but_stutters(app_cls):
+    run = run_app(app_cls(), "GAE", duration_ms=DURATION)
+    assert run.result.ran
+    assert 15.0 < run.result.fps < 45.0, app_cls.__name__
+
+
+def test_trinity_cannot_run_camera_apps():
+    run = run_app(CameraApp(), "Trinity", duration_ms=DURATION)
+    assert not run.result.ran
+    assert "camera" in run.result.fail_reason.lower()
+
+
+def test_trinity_cannot_run_livestream_apps():
+    run = run_app(LivestreamApp(), "Trinity", duration_ms=DURATION)
+    assert not run.result.ran
+    assert "encoder" in run.result.fail_reason.lower()
+
+
+def test_incompatible_app_reported_not_run():
+    from repro.apps.catalog import emerging_apps
+
+    ar_07 = next(a for a in emerging_apps() if a.name == "ar-07")
+    run = run_app(ar_07, "vSoC", duration_ms=DURATION)
+    assert not run.result.ran
+    assert "incompatible" in run.result.fail_reason
+
+
+def test_latency_only_on_interactive_categories():
+    video = run_app(UhdVideoApp(), "vSoC", duration_ms=DURATION)
+    camera = run_app(CameraApp(), "vSoC", duration_ms=DURATION)
+    assert video.result.latency_avg is None
+    assert camera.result.latency_avg is not None
+
+
+def test_vsoc_latency_beats_gae():
+    vsoc = run_app(CameraApp(), "vSoC", duration_ms=DURATION)
+    gae = run_app(CameraApp(), "GAE", duration_ms=DURATION)
+    assert vsoc.result.latency_avg < 0.7 * gae.result.latency_avg
+
+
+def test_gae_thermal_collapse_on_laptop():
+    """§5.3: ~30 FPS at first, ~10 FPS after throttling kicks in."""
+    app = UhdVideoApp(warmup_ms=0.0)
+    run = run_app(app, "GAE", machine_spec=MIDDLE_END_LAPTOP, duration_ms=80_000.0)
+    timeline = app.fps.fps_timeline(80_000.0, bucket_ms=10_000.0)
+    early, late = timeline[0], timeline[-1]
+    assert early > 25.0
+    assert late < 0.6 * early
+
+
+def test_vsoc_stays_cool_on_laptop():
+    """Hardware decode keeps the CPU idle: no thermal collapse."""
+    run = run_app(UhdVideoApp(), "vSoC", machine_spec=MIDDLE_END_LAPTOP,
+                  duration_ms=80_000.0)
+    assert run.result.fps > 50.0
+    assert not run.emulator.machine.cpu.thermal.throttled
+
+
+def test_prefetch_accuracy_at_least_99_percent_in_apps():
+    """§5.2: device-prediction accuracy 99-100% on real pipelines."""
+    for app_cls in (UhdVideoApp, CameraApp):
+        run = run_app(app_cls(), "vSoC", duration_ms=DURATION)
+        stats = run.emulator.engine.stats
+        assert stats.accuracy is not None
+        assert stats.accuracy >= 0.99, app_cls.__name__
+
+
+def test_deterministic_app_runs():
+    a = run_app(UhdVideoApp(), "vSoC", duration_ms=4_000.0, seed=3)
+    b = run_app(UhdVideoApp(), "vSoC", duration_ms=4_000.0, seed=3)
+    assert a.result.fps == b.result.fps
+    assert a.result.presented == b.result.presented

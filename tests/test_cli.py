@@ -1,0 +1,37 @@
+"""Tests for the experiments CLI (repro.experiments.__main__)."""
+
+import pytest
+
+from repro.experiments.__main__ import COMMANDS, main
+
+
+def test_every_documented_command_exists():
+    expected = {"table2", "fig4", "fig5", "fig6", "fig10", "fig11", "fig12",
+                "fig13", "fig14", "fig15", "fig16", "popular-breakdown",
+                "pred", "ablations", "density", "sweeps", "validate"}
+    assert expected <= set(COMMANDS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_quick_flag_parses():
+    # `pred` is the fastest command; run it end to end.
+    assert main(["pred", "--quick"]) == 0
+
+
+def test_table2_quick_prints_paper_references(capsys):
+    main(["table2", "--quick"])
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "(2.38)" in out  # paper reference value printed beside measured
+    assert "vSoC" in out and "QEMU-KVM" in out
+
+
+def test_package_metadata():
+    import repro
+
+    assert repro.__version__
+    assert "SOSP 2024" in repro.__paper__

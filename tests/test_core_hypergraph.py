@@ -1,0 +1,90 @@
+"""Unit tests for directed hypergraphs (repro.core.hypergraph)."""
+
+import pytest
+
+from repro.core import DirectedHypergraph
+from repro.core.hypergraph import Hyperedge, edge_key
+from repro.errors import ConfigurationError
+
+
+def make_graph():
+    g = DirectedHypergraph("test")
+    for node in ("camera", "isp", "gpu", "codec"):
+        g.add_node(node)
+    return g
+
+
+def test_edge_key_is_order_insensitive():
+    assert edge_key(["a"], ["b", "c"]) == edge_key(["a"], ["c", "b"])
+
+
+def test_edge_creation_and_lookup():
+    g = make_graph()
+    edge = g.edge(["camera"], ["isp", "gpu"])
+    assert edge.sources == frozenset({"camera"})
+    assert edge.destinations == frozenset({"isp", "gpu"})
+    assert g.edge(["camera"], ["gpu", "isp"]) is edge
+    assert len(g) == 1
+
+
+def test_edge_with_unknown_node_rejected():
+    g = make_graph()
+    with pytest.raises(ConfigurationError, match="no node"):
+        g.edge(["camera"], ["teleporter"])
+
+
+def test_hyperedge_requires_endpoints():
+    with pytest.raises(ConfigurationError):
+        Hyperedge(frozenset(), frozenset({"gpu"}))
+    with pytest.raises(ConfigurationError):
+        Hyperedge(frozenset({"gpu"}), frozenset())
+
+
+def test_edges_from_filters_by_source():
+    g = make_graph()
+    g.edge(["camera"], ["isp"])
+    g.edge(["camera"], ["gpu"])
+    g.edge(["codec"], ["gpu"])
+    assert len(g.edges_from("camera")) == 2
+    assert len(g.edges_from("codec")) == 1
+    assert g.edges_from("gpu") == []
+
+
+def test_touch_counts_observations():
+    g = make_graph()
+    edge = g.edge(["codec"], ["gpu"])
+    for _ in range(5):
+        edge.touch()
+    assert edge.observations == 5
+
+
+def test_stats_payload_is_per_edge():
+    g = make_graph()
+    a = g.edge(["codec"], ["gpu"])
+    b = g.edge(["camera"], ["isp"])
+    a.stats["x"] = 1
+    assert "x" not in b.stats
+
+
+def test_nodes_frozen_view():
+    g = make_graph()
+    assert "camera" in g.nodes
+    assert g.has_node("gpu")
+    assert not g.has_node("nope")
+
+
+def test_iteration_yields_edges():
+    g = make_graph()
+    g.edge(["codec"], ["gpu"])
+    g.edge(["camera"], ["isp"])
+    assert {e.key for e in g} == {
+        edge_key(["codec"], ["gpu"]),
+        edge_key(["camera"], ["isp"]),
+    }
+
+
+def test_get_edge_by_key():
+    g = make_graph()
+    edge = g.edge(["codec"], ["gpu"])
+    assert g.get_edge(edge_key(["codec"], ["gpu"])) is edge
+    assert g.get_edge(edge_key(["isp"], ["gpu"])) is None

@@ -1,0 +1,164 @@
+"""Unit tests for the twin hypergraphs (repro.core.twin)."""
+
+import pytest
+
+from repro.core import TwinHypergraphs
+from repro.errors import UnknownRegionError
+from repro.units import MIB, UHD_FRAME_BYTES
+
+VDEVS = ("codec", "gpu", "display", "camera", "isp")
+LOCS = ("host", "gpu")
+
+
+def make_twin():
+    return TwinHypergraphs(VDEVS, LOCS)
+
+
+def run_cycles(twin, region_id, cycles, slack=17.0):
+    """Drive `cycles` write→read generations of a codec→gpu pipeline."""
+    for _ in range(cycles):
+        twin.on_write(region_id, "codec", "gpu", UHD_FRAME_BYTES)
+        twin.on_read(region_id, "gpu", "gpu", slack)
+
+
+def test_register_and_drop_region():
+    twin = make_twin()
+    twin.register_region(1)
+    assert twin.tracked_regions == 1
+    twin.drop_region(1)
+    assert twin.tracked_regions == 0
+    twin.drop_region(1)  # idempotent
+
+
+def test_unknown_region_raises():
+    twin = make_twin()
+    with pytest.raises(UnknownRegionError):
+        twin.on_write(99, "codec", "gpu", MIB)
+
+
+def test_no_edge_before_first_generation_completes():
+    twin = make_twin()
+    twin.register_region(1)
+    twin.on_write(1, "codec", "gpu", MIB)
+    twin.on_read(1, "gpu", "gpu", 17.0)
+    # Generation still open: edge appears at the *next* write.
+    assert len(twin.virtual) == 0
+    twin.on_write(1, "codec", "gpu", MIB)
+    assert len(twin.virtual) == 1
+
+
+def test_edge_binding_enables_prediction():
+    twin = make_twin()
+    twin.register_region(1)
+    run_cycles(twin, 1, 3)
+    predicted = twin.predict_readers(1, "codec")
+    assert predicted is not None
+    assert predicted.reader_vdevs == frozenset({"gpu"})
+
+
+def test_prediction_cold_start_returns_none():
+    twin = make_twin()
+    twin.register_region(1)
+    assert twin.predict_readers(1, "codec") is None
+
+
+def test_zero_shot_prediction_for_new_region():
+    """A new region inherits the flow history of its writer vdev (§3.3)."""
+    twin = make_twin()
+    twin.register_region(1)
+    run_cycles(twin, 1, 5)
+    twin.register_region(2)  # fresh region, same pipeline
+    predicted = twin.predict_readers(2, "codec")
+    assert predicted is not None
+    assert predicted.reader_vdevs == frozenset({"gpu"})
+
+
+def test_zero_shot_prefers_busiest_flow():
+    twin = make_twin()
+    twin.register_region(1)
+    twin.register_region(2)
+    run_cycles(twin, 1, 10)  # codec -> gpu, busy
+    # codec -> display, rare
+    twin.on_write(2, "codec", "host", MIB)
+    twin.on_read(2, "display", "gpu", 5.0)
+    twin.on_write(2, "codec", "host", MIB)
+    twin.register_region(3)
+    predicted = twin.predict_readers(3, "codec")
+    assert predicted.reader_vdevs == frozenset({"gpu"})
+
+
+def test_multi_reader_hyperedge():
+    """camera write followed by isp+gpu reads forms one hyperedge."""
+    twin = make_twin()
+    twin.register_region(1)
+    for _ in range(3):
+        twin.on_write(1, "camera", "host", MIB)
+        twin.on_read(1, "isp", "gpu", 10.0)
+        twin.on_read(1, "gpu", "gpu", None)
+    twin.on_write(1, "camera", "host", MIB)
+    edges = twin.virtual.edges_from("camera")
+    assert len(edges) == 1
+    assert edges[0].destinations == frozenset({"isp", "gpu"})
+
+
+def test_slack_prediction_warms_up():
+    twin = make_twin()
+    twin.register_region(1)
+    run_cycles(twin, 1, 6, slack=17.2)
+    predicted = twin.predict_readers(1, "codec")
+    slack = twin.predict_slack(predicted.vedge)
+    assert slack == pytest.approx(17.2)
+
+
+def test_prefetch_time_prediction():
+    twin = make_twin()
+    twin.register_region(1)
+    run_cycles(twin, 1, 3)
+    predicted = twin.predict_readers(1, "codec")
+    assert predicted.pedge is not None
+    assert twin.predict_prefetch_time(predicted.pedge) is None
+    twin.note_prefetch_duration(predicted.pedge, 2.4)
+    twin.note_prefetch_duration(predicted.pedge, 2.6)
+    assert twin.predict_prefetch_time(predicted.pedge) == pytest.approx(2.5)
+
+
+def test_flow_change_rebinds_edge():
+    twin = make_twin()
+    twin.register_region(1)
+    run_cycles(twin, 1, 4)
+    # Pipeline changes: now display reads instead of gpu.
+    twin.on_write(1, "codec", "host", MIB)
+    twin.on_read(1, "display", "gpu", 8.0)
+    twin.on_write(1, "codec", "host", MIB)
+    predicted = twin.predict_readers(1, "codec")
+    assert predicted.reader_vdevs == frozenset({"display"})
+
+
+def test_regions_share_edges():
+    """Buffer chains: multiple regions, one flow, one hyperedge (§3.2)."""
+    twin = make_twin()
+    for rid in (1, 2, 3):
+        twin.register_region(rid)
+        run_cycles(twin, rid, 3)
+    assert len(twin.virtual.edges_from("codec")) == 1
+    edge = twin.virtual.edges_from("codec")[0]
+    assert edge.observations >= 6
+
+
+def test_memory_overhead_is_small():
+    """§5.2: framework data structures stay within ~3.1 MiB."""
+    twin = make_twin()
+    for rid in range(500):
+        twin.register_region(rid)
+        run_cycles(twin, rid, 2)
+    assert twin.memory_overhead_bytes() < int(3.1 * MIB)
+
+
+def test_slack_none_is_ignored():
+    twin = make_twin()
+    twin.register_region(1)
+    twin.on_write(1, "codec", "gpu", MIB)
+    twin.on_read(1, "gpu", "gpu", None)
+    twin.on_write(1, "codec", "gpu", MIB)
+    predicted = twin.predict_readers(1, "codec")
+    assert twin.predict_slack(predicted.vedge) is None

@@ -1,0 +1,128 @@
+"""Unit tests for buses and DMA (repro.hw.bus)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw import Bus, DmaEngine
+from repro.sim import Simulator, Timeout
+from repro.units import MIB, gb_per_s
+
+
+def test_transfer_time_formula():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=gb_per_s(1.0), latency=0.5)
+    # 1 GB/s = 1e6 bytes/ms; 1 MiB / 1e6 B/ms ≈ 1.048576 ms, plus latency.
+    assert bus.transfer_time(MIB) == pytest.approx(0.5 + MIB / 1e6)
+
+
+def test_zero_byte_transfer_is_free():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=gb_per_s(1.0), latency=0.5)
+    assert bus.transfer_time(0) == 0.0
+
+
+def test_transfer_advances_clock_and_returns_duration():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=1000.0, latency=1.0)  # 1000 B/ms
+    results = []
+
+    def proc():
+        elapsed = yield from bus.transfer(5000)
+        results.append((sim.now, elapsed))
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == [(6.0, 6.0)]  # 1 ms latency + 5000/1000 ms
+
+
+def test_contending_transfers_serialize_fifo():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=1000.0, latency=0.0)
+    done = []
+
+    def proc(label):
+        yield from bus.transfer(1000)
+        done.append((label, sim.now))
+
+    for label in ("a", "b"):
+        sim.spawn(proc(label))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_statistics_accumulate():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=1000.0, latency=0.0)
+
+    def proc():
+        yield from bus.transfer(500)
+        yield from bus.transfer(1500)
+
+    sim.spawn(proc())
+    sim.run()
+    assert bus.bytes_moved == 2000
+    assert bus.transfer_count == 2
+    assert bus.observed_bandwidth() == pytest.approx(1000.0)
+
+
+def test_load_reduces_effective_bandwidth():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=1000.0)
+    bus.set_load(0.5)
+    assert bus.effective_bandwidth == 500.0
+    assert bus.transfer_time(1000) == pytest.approx(2.0)
+
+
+def test_invalid_load_rejected():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=1000.0)
+    with pytest.raises(HardwareError):
+        bus.set_load(1.0)
+    with pytest.raises(HardwareError):
+        bus.set_load(-0.1)
+
+
+def test_invalid_bandwidth_rejected():
+    sim = Simulator()
+    with pytest.raises(HardwareError):
+        Bus(sim, "bad", bandwidth=0.0)
+
+
+def test_negative_transfer_rejected():
+    sim = Simulator()
+    bus = Bus(sim, "b", bandwidth=1000.0)
+    with pytest.raises(HardwareError):
+        bus.transfer_time(-1)
+
+
+def test_dma_runs_in_background():
+    sim = Simulator()
+    bus = Bus(sim, "pcie", bandwidth=1000.0)
+    dma = DmaEngine(sim, bus)
+    timeline = []
+
+    def proc():
+        xfer = dma.start(10_000)  # 10 ms in the background
+        yield Timeout(1.0)
+        timeline.append(("still-working", sim.now))
+        yield xfer  # join
+        timeline.append(("joined", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert timeline == [("still-working", 1.0), ("joined", 10.0)]
+
+
+def test_dma_counts_transfers():
+    sim = Simulator()
+    bus = Bus(sim, "pcie", bandwidth=1000.0)
+    dma = DmaEngine(sim, bus)
+
+    def proc():
+        yield dma.start(100)
+        yield dma.start(200)
+
+    sim.spawn(proc())
+    sim.run()
+    assert dma.transfers_started == 2
+    assert bus.bytes_moved == 300

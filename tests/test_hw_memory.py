@@ -1,0 +1,74 @@
+"""Unit tests for memory pools (repro.hw.memory)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw import MemoryPool
+from repro.units import MIB
+
+
+def test_allocate_and_free_accounting():
+    pool = MemoryPool("test", 10 * MIB)
+    region = pool.allocate(4 * MIB, tag="frame")
+    assert pool.in_use == 4 * MIB
+    assert pool.live_regions == 1
+    region.free()
+    assert pool.in_use == 0
+    assert pool.live_regions == 0
+
+
+def test_peak_tracks_high_water_mark():
+    pool = MemoryPool("test", 10 * MIB)
+    a = pool.allocate(3 * MIB)
+    b = pool.allocate(5 * MIB)
+    a.free()
+    assert pool.peak == 8 * MIB
+    assert pool.in_use == 5 * MIB
+    b.free()
+    assert pool.peak == 8 * MIB
+
+
+def test_exhaustion_raises():
+    pool = MemoryPool("small", 1 * MIB)
+    pool.allocate(MIB // 2)
+    with pytest.raises(HardwareError, match="exhausted"):
+        pool.allocate(MIB)
+
+
+def test_double_free_raises():
+    pool = MemoryPool("test", MIB)
+    region = pool.allocate(100)
+    region.free()
+    with pytest.raises(HardwareError, match="double free"):
+        region.free()
+
+
+def test_cross_pool_free_rejected():
+    pool_a = MemoryPool("a", MIB)
+    pool_b = MemoryPool("b", MIB)
+    region = pool_a.allocate(100)
+    with pytest.raises(HardwareError, match="belongs to"):
+        pool_b.free(region)
+
+
+def test_zero_size_allocation_rejected():
+    pool = MemoryPool("test", MIB)
+    with pytest.raises(HardwareError):
+        pool.allocate(0)
+
+
+def test_nonpositive_capacity_rejected():
+    with pytest.raises(HardwareError):
+        MemoryPool("bad", 0)
+
+
+def test_free_bytes():
+    pool = MemoryPool("test", 100)
+    pool.allocate(30)
+    assert pool.free_bytes == 70
+
+
+def test_region_ids_unique():
+    pool = MemoryPool("test", MIB)
+    ids = {pool.allocate(16).region_id for _ in range(50)}
+    assert len(ids) == 50

@@ -1,0 +1,119 @@
+"""Unit tests for the thermal throttling model (repro.hw.thermal)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import ThermalModel
+from repro.sim import Simulator, Timeout
+
+
+def make_model(sim, **overrides):
+    params = dict(
+        heat_per_busy_ms=1.0,
+        cool_per_ms=0.25,
+        throttle_at=100.0,
+        recover_at=50.0,
+        throttled_factor=0.35,
+    )
+    params.update(overrides)
+    return ThermalModel(sim, **params)
+
+
+def test_starts_cool_and_full_speed():
+    sim = Simulator()
+    model = make_model(sim)
+    assert model.speed_factor() == 1.0
+    assert model.heat == 0.0
+    assert not model.throttled
+
+
+def test_heat_accumulates_with_busy_time():
+    sim = Simulator()
+    model = make_model(sim)
+    model.note_busy(40.0)
+    assert model.heat == pytest.approx(40.0)
+
+
+def test_throttles_above_threshold():
+    sim = Simulator()
+    model = make_model(sim)
+    model.note_busy(120.0)
+    assert model.throttled
+    assert model.speed_factor() == 0.35
+    assert model.throttle_events == 1
+
+
+def test_cooling_over_idle_time():
+    sim = Simulator()
+    model = make_model(sim)
+    model.note_busy(40.0)
+
+    def idle():
+        yield Timeout(80.0)  # cools 80 * 0.25 = 20 units
+
+    sim.spawn(idle())
+    sim.run()
+    assert model.heat == pytest.approx(20.0)
+
+
+def test_hysteresis_recovery():
+    sim = Simulator()
+    model = make_model(sim)
+    model.note_busy(120.0)
+    assert model.throttled
+
+    def idle():
+        # Needs to cool from 120 to 50 => 70 units / 0.25 per ms = 280 ms.
+        yield Timeout(279.0)
+
+    sim.spawn(idle())
+    sim.run()
+    assert model.throttled  # 120 - 69.75 = 50.25, still above recover_at
+
+    def idle_more():
+        yield Timeout(2.0)
+
+    sim.spawn(idle_more())
+    sim.run()
+    assert not model.throttled
+    assert model.speed_factor() == 1.0
+
+
+def test_heat_never_negative():
+    sim = Simulator()
+    model = make_model(sim)
+    model.note_busy(10.0)
+
+    def long_idle():
+        yield Timeout(10_000.0)
+
+    sim.spawn(long_idle())
+    sim.run()
+    assert model.heat == 0.0
+
+
+def test_sustained_load_stays_throttled():
+    sim = Simulator()
+    model = make_model(sim)
+
+    def hammer():
+        for _ in range(100):
+            model.note_busy(5.0)
+            yield Timeout(5.0)
+
+    sim.spawn(hammer())
+    sim.run()
+    assert model.throttled
+
+
+def test_invalid_configs_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        make_model(sim, throttled_factor=0.0)
+    with pytest.raises(ConfigurationError):
+        make_model(sim, recover_at=100.0)  # == throttle_at
+    with pytest.raises(ConfigurationError):
+        make_model(sim, cool_per_ms=1.0)  # >= heating rate
+    model = make_model(sim)
+    with pytest.raises(ConfigurationError):
+        model.note_busy(-1.0)

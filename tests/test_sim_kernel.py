@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Simulator, Timeout
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_callback_at_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_schedule_with_args():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for label in ("first", "second", "third"):
+        sim.schedule(3.0, seen.append, label)
+    sim.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancel_prevents_callback():
+    sim = Simulator()
+    seen = []
+    call = sim.schedule(1.0, seen.append, "x")
+    call.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    call = sim.schedule(1.0, lambda: None)
+    call.cancel()
+    call.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == []
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_process_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(7.5)
+        return "done"
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert not p.alive
+    assert p.value == "done"
+    assert sim.now == 7.5
+
+
+def test_timeout_returns_value_at_yield():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        got = yield Timeout(1.0, "payload")
+        results.append(got)
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == ["payload"]
+
+
+def test_process_join_receives_return_value():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(3.0)
+        return 99
+
+    def parent():
+        result = yield sim.spawn(child(), name="child")
+        return result * 2
+
+    p = sim.spawn(parent(), name="parent")
+    sim.run()
+    assert p.value == 198
+
+
+def test_join_on_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1.0)
+        return "early"
+
+    child_proc = sim.spawn(child())
+    sim.run()
+
+    def parent():
+        result = yield child_proc
+        return result
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == "early"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_joined_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.spawn(bad(), name="bad")
+        except ValueError:
+            return "caught"
+        return "missed"
+
+    p = sim.spawn(parent(), name="parent")
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_yielding_garbage_fails_the_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_nested_spawn_ordering_is_deterministic():
+    sim = Simulator()
+    seen = []
+
+    def worker(label, delay):
+        yield Timeout(delay)
+        seen.append(label)
+
+    def parent():
+        sim.spawn(worker("b", 2.0))
+        sim.spawn(worker("a", 1.0))
+        sim.spawn(worker("c", 2.0))
+        yield Timeout(0.0)
+
+    sim.spawn(parent())
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    from repro.sim import SimEvent
+
+    never = SimEvent(sim, name="never")
+
+    def stuck():
+        yield never
+
+    sim.spawn(stuck(), name="stuck")
+    with pytest.raises(DeadlockError):
+        sim.run(check_deadlock=True)
+
+
+def test_live_processes_and_pending_events():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(5.0)
+
+    sim.spawn(proc(), name="p1")
+    assert sim.pending_events() == 1
+    sim.run()
+    assert list(sim.live_processes) == []
+
+
+def test_step_returns_false_on_empty_heap():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        order = []
+
+        def worker(label, delay):
+            yield Timeout(delay)
+            order.append((label, sim.now))
+
+        for i in range(20):
+            sim.spawn(worker(i, (i * 7) % 5 + 0.5))
+        sim.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,307 @@
+"""Unit tests for simulation primitives (repro.sim.primitives)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, FifoQueue, Mutex, Semaphore, SimEvent, Simulator, Timeout
+
+
+# --- SimEvent --------------------------------------------------------------
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+    event = SimEvent(sim, name="ev")
+    results = []
+
+    def waiter():
+        got = yield event
+        results.append(got)
+
+    sim.spawn(waiter())
+    sim.schedule(4.0, event.fire, "hello")
+    sim.run()
+    assert results == ["hello"]
+    assert sim.now == 4.0
+
+
+def test_event_wakes_multiple_waiters():
+    sim = Simulator()
+    event = SimEvent(sim)
+    results = []
+
+    def waiter(label):
+        got = yield event
+        results.append((label, got))
+
+    for label in "abc":
+        sim.spawn(waiter(label))
+    sim.schedule(1.0, event.fire, 7)
+    sim.run()
+    assert results == [("a", 7), ("b", 7), ("c", 7)]
+
+
+def test_late_waiter_on_fired_event():
+    sim = Simulator()
+    event = SimEvent(sim)
+    event.fire("done")
+    results = []
+
+    def waiter():
+        got = yield event
+        results.append(got)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert results == ["done"]
+
+
+def test_event_double_fire_rejected():
+    sim = Simulator()
+    event = SimEvent(sim)
+    event.fire()
+    with pytest.raises(SimulationError):
+        event.fire()
+
+
+def test_event_fail_propagates_exception():
+    sim = Simulator()
+    event = SimEvent(sim)
+    results = []
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError as err:
+            results.append(str(err))
+
+    sim.spawn(waiter())
+    sim.schedule(1.0, event.fail, RuntimeError("device error"))
+    sim.run()
+    assert results == ["device error"]
+
+
+# --- AllOf -----------------------------------------------------------------
+
+def test_allof_waits_for_all_children():
+    sim = Simulator()
+    e1, e2 = SimEvent(sim), SimEvent(sim)
+    results = []
+
+    def waiter():
+        values = yield AllOf(sim, [e1, e2])
+        results.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.schedule(2.0, e1.fire, "one")
+    sim.schedule(5.0, e2.fire, "two")
+    sim.run()
+    assert results == [(5.0, ["one", "two"])]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    results = []
+
+    def waiter():
+        values = yield AllOf(sim, [])
+        results.append(values)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert results == [[]]
+
+
+def test_allof_preserves_child_order_not_completion_order():
+    sim = Simulator()
+    e1, e2 = SimEvent(sim), SimEvent(sim)
+    results = []
+
+    def waiter():
+        values = yield AllOf(sim, [e1, e2])
+        results.append(values)
+
+    sim.spawn(waiter())
+    sim.schedule(5.0, e1.fire, "first-child")
+    sim.schedule(1.0, e2.fire, "second-child")
+    sim.run()
+    assert results == [["first-child", "second-child"]]
+
+
+# --- Semaphore / Mutex -------------------------------------------------------
+
+def test_semaphore_allows_up_to_capacity():
+    sim = Simulator()
+    sem = Semaphore(sim, permits=2)
+    inside = []
+
+    def worker(label):
+        yield sem.acquire()
+        inside.append(label)
+        yield Timeout(10.0)
+        sem.release()
+
+    for label in "abc":
+        sim.spawn(worker(label))
+    sim.run(until=5.0)
+    assert inside == ["a", "b"]
+    sim.run()
+    assert inside == ["a", "b", "c"]
+
+
+def test_semaphore_fifo_wakeup():
+    sim = Simulator()
+    sem = Semaphore(sim, permits=1)
+    order = []
+
+    def worker(label):
+        yield sem.acquire()
+        order.append(label)
+        yield Timeout(1.0)
+        sem.release()
+
+    for label in ("w1", "w2", "w3"):
+        sim.spawn(worker(label))
+    sim.run()
+    assert order == ["w1", "w2", "w3"]
+
+
+def test_try_acquire():
+    sim = Simulator()
+    sem = Semaphore(sim, permits=1)
+    assert sem.try_acquire() is True
+    assert sem.try_acquire() is False
+    sem.release()
+    assert sem.available == 1
+
+
+def test_release_without_waiters_increments_permits():
+    sim = Simulator()
+    sem = Semaphore(sim, permits=0)
+    sem.release()
+    assert sem.available == 1
+
+
+def test_mutex_is_binary():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    assert mutex.available == 1
+
+
+def test_negative_permits_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Semaphore(sim, permits=-1)
+
+
+# --- FifoQueue ---------------------------------------------------------------
+
+def test_queue_put_then_get():
+    sim = Simulator()
+    q = FifoQueue(sim)
+    results = []
+
+    def consumer():
+        item = yield q.get()
+        results.append(item)
+
+    sim.spawn(consumer())
+    q.put("cmd")
+    sim.run()
+    assert results == ["cmd"]
+
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    q = FifoQueue(sim)
+    results = []
+
+    def consumer():
+        item = yield q.get()
+        results.append((sim.now, item))
+
+    def producer():
+        yield Timeout(9.0)
+        yield q.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert results == [(9.0, "late")]
+
+
+def test_queue_fifo_order():
+    sim = Simulator()
+    q = FifoQueue(sim)
+    for item in (1, 2, 3):
+        q.put(item)
+    results = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield q.get()
+            results.append(item)
+
+    sim.spawn(consumer())
+    sim.run()
+    assert results == [1, 2, 3]
+
+
+def test_bounded_queue_blocks_producer():
+    sim = Simulator()
+    q = FifoQueue(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield q.put("a")
+        timeline.append(("put-a", sim.now))
+        yield q.put("b")
+        timeline.append(("put-b", sim.now))
+
+    def consumer():
+        yield Timeout(5.0)
+        item = yield q.get()
+        timeline.append(("got", item, sim.now))
+        yield Timeout(0.0)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in timeline
+    put_b = next(t for t in timeline if t[0] == "put-b")
+    assert put_b[1] >= 5.0  # blocked until the consumer drained one item
+
+
+def test_try_put_respects_capacity():
+    sim = Simulator()
+    q = FifoQueue(sim, capacity=2)
+    assert q.try_put(1) is True
+    assert q.try_put(2) is True
+    assert q.try_put(3) is False
+    assert len(q) == 2
+
+
+def test_try_put_hands_off_to_waiting_getter():
+    sim = Simulator()
+    q = FifoQueue(sim, capacity=1)
+    results = []
+
+    def consumer():
+        item = yield q.get()
+        results.append(item)
+
+    sim.spawn(consumer())
+    sim.run()  # consumer is now parked on get()
+    assert q.try_put("direct") is True
+    sim.run()
+    assert results == ["direct"]
+
+
+def test_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        FifoQueue(sim, capacity=0)
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-0.5)

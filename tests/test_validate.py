@@ -1,0 +1,10 @@
+"""The validation suite itself must pass end to end (artifact check)."""
+
+from repro.experiments.validate import validate
+
+
+def test_all_claims_validate():
+    claims = validate(duration_ms=5_000.0, apps_per_category=1, verbose=False)
+    failures = [c for c in claims if not c.passed]
+    assert not failures, "\n".join(f"{c.name}: {c.detail}" for c in failures)
+    assert len(claims) >= 14
