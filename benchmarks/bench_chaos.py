@@ -1,0 +1,45 @@
+"""Chaos benchmark — FPS/latency per fault class, and the acceptance bar.
+
+Runs UHD video on vSoC once per fault class (fault-free, bus flap,
+transient copy faults, device stall, transport drops, full chaos) and
+asserts the robustness contract: the full scenario completes with no
+unhandled exceptions, the coherence ladder demonstrably degrades and
+restores, and steady-state FPS after fault clearance lands within 2× of
+the fault-free run.
+"""
+
+from repro.experiments.chaos import run_fault_classes
+
+
+def test_chaos_fault_classes(benchmark, bench_duration):
+    results = benchmark.pedantic(
+        run_fault_classes,
+        kwargs=dict(duration_ms=bench_duration, seed=0),
+        rounds=1, iterations=1,
+    )
+    for label, r in results.items():
+        benchmark.extra_info[f"{label}_fps"] = round(r.fps, 1)
+        benchmark.extra_info[f"{label}_steady_fps"] = round(r.steady_fps, 1)
+    chaos = results["full-chaos"]
+    baseline = results["fault-free"]
+
+    # The full scenario injected every fault class it promised.
+    assert chaos.injected["load_changes"] > 0
+    assert chaos.injected["copy_faults"] > 0
+    assert chaos.injected["stalls"] == 1
+    assert chaos.injected["transport_drops"] > 0
+
+    # The ladder demonstrably entered and exited degraded mode.
+    assert chaos.entered_degraded
+    assert chaos.exited_degraded
+    benchmark.extra_info["degrades"] = chaos.degrades
+    benchmark.extra_info["restores"] = chaos.restores
+    benchmark.extra_info["time_degraded_ms"] = round(chaos.time_degraded_ms)
+
+    # Acceptance bar: steady-state FPS within 2x of fault-free after the
+    # faults clear.
+    assert chaos.steady_fps >= baseline.steady_fps / 2.0
+
+    # Single-class runs stay milder than the full storm degrades-wise.
+    assert results["fault-free"].degrades == 0
+    assert results["fault-free"].retries == 0

@@ -1,6 +1,6 @@
 """Figure 10 — FPS of the emerging apps on the high-end PC (§5.3)."""
 
-from repro.experiments.appbench import EMULATORS, run_fig10
+from repro.experiments.appbench import run_fig10
 from repro.hw.machine import HIGH_END_DESKTOP
 
 

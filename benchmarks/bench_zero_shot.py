@@ -8,8 +8,6 @@ flow-level history the engine keeps prefetching through the switches,
 with region-level history every new buffer pays cold starts.
 """
 
-import random
-
 from repro.apps import ShortFormVideoApp
 from repro.emulators import make_vsoc
 from repro.experiments.runner import run_app

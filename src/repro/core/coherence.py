@@ -20,26 +20,77 @@ copy: nothing for co-located data (the in-GPU zero-copy special case of
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
 
+from repro.core.degradation import (
+    LEVEL_GUEST_ROUNDTRIP,
+    LEVEL_NAMES,
+    DegradationController,
+)
 from repro.core.region import GUEST_LOCATION, HOST_LOCATION, SvmRegion
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    DegradedModeError,
+    TransientCopyError,
+)
 from repro.hw.bus import Bus
 from repro.hw.machine import HostMachine
-from repro.sim import Simulator
+from repro.sim import RetryPolicy, Simulator, retrying, with_deadline
 from repro.sim.tracing import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.prefetch import PrefetchEngine
 
+#: Default retry schedule for coherence copies: three tries with a short,
+#: steep backoff — a coherence copy sits on the access-latency critical
+#: path, so waiting long before retrying is worse than failing over.
+COPY_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay_ms=0.05, multiplier=4.0, max_delay_ms=2.0
+)
+
+#: Exceptions a coherence copy may survive via retry or degradation.
+RECOVERABLE_COPY_ERRORS = (TransientCopyError, DeadlineExceededError)
+
 
 class CopyPlanner:
-    """Plans and executes coherence copies over the host topology."""
+    """Plans and executes coherence copies over the host topology.
 
-    def __init__(self, sim: Simulator, machine: HostMachine, boundary: Optional[Bus] = None):
+    The ``*_resilient`` variants wrap the plain copy processes in the
+    retry/watchdog machinery from :mod:`repro.sim.resilience`:
+
+    * each attempt is retried per ``retry_policy`` on transient faults;
+    * when ``watchdog_margin`` is set, each attempt must finish within
+      ``margin × queueing-free-estimate`` or it counts as failed (the
+      orphaned transfer still drains its bus).
+
+    ``watchdog_margin`` defaults to ``None`` (disabled) so fault-free
+    benchmarks keep their exact timing; the chaos harness enables it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: HostMachine,
+        boundary: Optional[Bus] = None,
+        retry_policy: RetryPolicy = COPY_RETRY_POLICY,
+        watchdog_margin: Optional[float] = None,
+        trace: Optional[TraceLog] = None,
+    ):
+        if watchdog_margin is not None and watchdog_margin <= 1.0:
+            raise ConfigurationError(
+                f"watchdog_margin must be > 1 (a multiple of the estimate), "
+                f"got {watchdog_margin}"
+            )
         self._sim = sim
         self._machine = machine
         self.boundary = boundary if boundary is not None else machine.boundary
+        self.retry_policy = retry_policy
+        self.watchdog_margin = watchdog_margin
+        self.trace = trace
+        self.copy_retries = 0
+        self.copy_failures = 0
+        self.watchdog_expiries = 0
         self._links: Dict[str, Bus] = {}
         for device in machine.devices.values():
             if device.local_memory is not None:
@@ -86,6 +137,95 @@ class CopyPlanner:
 
     def estimate_boundary(self, nbytes: int) -> float:
         return self.boundary.transfer_time(nbytes)
+
+    def copy_boundary_roundtrip(self, nbytes: int) -> Generator[Any, Any, float]:
+        """Process: the full legacy 4-copy path — two boundary crossings.
+
+        This is the deepest degradation rung: flush to guest memory, then
+        fetch back out. Twice the boundary cost, but no dependence on the
+        direct device links that keep faulting.
+        """
+        start = self._sim.now
+        yield from self.boundary.transfer(nbytes)
+        yield from self.boundary.transfer(nbytes)
+        return self._sim.now - start
+
+    def estimate_roundtrip(self, nbytes: int) -> float:
+        return 2 * self.boundary.transfer_time(nbytes)
+
+    # -- resilient variants --------------------------------------------------
+    def copy_unified_resilient(
+        self, src: str, dst: str, nbytes: int
+    ) -> Generator[Any, Any, float]:
+        """Process: :meth:`copy_unified` with retries and optional watchdog."""
+        return (
+            yield from self._resilient(
+                lambda: self.copy_unified(src, dst, nbytes),
+                self.estimate_unified(src, dst, nbytes),
+                f"copy:{src}->{dst}",
+            )
+        )
+
+    def copy_via_boundary_resilient(self, nbytes: int) -> Generator[Any, Any, float]:
+        """Process: :meth:`copy_via_boundary` with retries and optional watchdog."""
+        return (
+            yield from self._resilient(
+                lambda: self.copy_via_boundary(nbytes),
+                self.estimate_boundary(nbytes),
+                "copy:boundary",
+            )
+        )
+
+    def copy_roundtrip_resilient(self, nbytes: int) -> Generator[Any, Any, float]:
+        """Process: :meth:`copy_boundary_roundtrip` with retries/watchdog."""
+        return (
+            yield from self._resilient(
+                lambda: self.copy_boundary_roundtrip(nbytes),
+                self.estimate_roundtrip(nbytes),
+                "copy:roundtrip",
+            )
+        )
+
+    def _resilient(
+        self,
+        factory: Callable[[], Generator[Any, Any, float]],
+        estimate: float,
+        label: str,
+    ) -> Generator[Any, Any, float]:
+        """Retry ``factory`` per policy; watchdog each attempt when enabled."""
+        if self.watchdog_margin is not None and estimate > 0:
+            deadline = self.watchdog_margin * estimate + 1.0
+            attempt = factory
+
+            def factory() -> Generator[Any, Any, float]:
+                try:
+                    return (
+                        yield from with_deadline(
+                            self._sim, attempt(), deadline, name=label
+                        )
+                    )
+                except DeadlineExceededError:
+                    self.watchdog_expiries += 1
+                    raise
+
+        def on_retry(failures: int, exc: BaseException) -> None:
+            self.copy_retries += 1
+
+        try:
+            return (
+                yield from retrying(
+                    self._sim,
+                    factory,
+                    self.retry_policy,
+                    retry_on=RECOVERABLE_COPY_ERRORS,
+                    name=label,
+                    trace=self.trace,
+                    on_retry=on_retry,
+                )
+            )
+        except RECOVERABLE_COPY_ERRORS:
+            self.copy_failures += 1
+            raise
 
     # -- helpers -------------------------------------------------------------
     def _link(self, location: str) -> Bus:
@@ -143,9 +283,22 @@ class CoherenceProtocol:
 
 
 class UnifiedPrefetchProtocol(CoherenceProtocol):
-    """vSoC's protocol: direct paths + ahead-of-time copies (§3.3)."""
+    """vSoC's protocol: direct paths + ahead-of-time copies (§3.3).
+
+    With a :class:`~repro.core.degradation.DegradationController` attached,
+    synchronous maintenance consults the degradation ladder: level 0/1 use
+    the direct unified path (retried), level 2 falls back to the 4-copy
+    guest-memory round-trip. Repeated failures escalate; successes at a
+    probe level restore. Without a controller the behavior is byte-for-byte
+    the pre-fault-model protocol.
+    """
 
     name = "unified-prefetch"
+
+    #: Hard cap on ladder rounds inside one maintenance call — with a
+    #: 3-level ladder and 3 failures per escalation, 12 covers the worst
+    #: legal walk with margin; past it something is wedged for good.
+    MAX_MAINTENANCE_ROUNDS = 12
 
     def __init__(
         self,
@@ -153,13 +306,69 @@ class UnifiedPrefetchProtocol(CoherenceProtocol):
         planner: CopyPlanner,
         engine: "PrefetchEngine",
         trace: TraceLog,
+        degradation: Optional[DegradationController] = None,
     ):
         self._sim = sim
         self._planner = planner
         self._engine = engine
         self._trace = trace
+        self.degradation = degradation
         self.sync_misses = 0
         self.prefetch_joins = 0
+        self.degraded_copies = 0
+
+    def _maintain(self, region, reader_loc, path_tag):
+        """Process: synchronous maintenance, walking the degradation ladder.
+
+        Tries the level :meth:`DegradationController.plan_level` plans
+        (direct unified copy below level 2, guest-memory round-trip at
+        level 2), reporting each outcome so the controller can escalate or
+        restore. Only gives up — :class:`DegradedModeError` — when even the
+        round-trip path keeps failing.
+        """
+        src = region.last_writer_location or HOST_LOCATION
+        for _ in range(self.MAX_MAINTENANCE_ROUNDS):
+            ctl = self.degradation
+            level = ctl.plan_level() if ctl is not None else 0
+            try:
+                if level >= LEVEL_GUEST_ROUNDTRIP:
+                    self.degraded_copies += 1
+                    duration = yield from self._planner.copy_roundtrip_resilient(
+                        region.dirty_bytes
+                    )
+                    region.note_copy(GUEST_LOCATION)
+                    tag = f"{path_tag}-degraded"
+                else:
+                    duration = yield from self._planner.copy_unified_resilient(
+                        src, reader_loc, region.dirty_bytes
+                    )
+                    tag = path_tag
+            except RECOVERABLE_COPY_ERRORS as err:
+                if ctl is None:
+                    raise
+                ctl.note_failure(level, reason=type(err).__name__)
+                if level >= LEVEL_GUEST_ROUNDTRIP:
+                    raise DegradedModeError(
+                        f"region {region.region_id}: maintenance failed even on "
+                        f"the {LEVEL_NAMES[LEVEL_GUEST_ROUNDTRIP]} path"
+                    ) from err
+                continue
+            if ctl is not None:
+                ctl.note_success(level)
+            region.note_copy(reader_loc)
+            self._trace.record(
+                self._sim.now,
+                "coherence.maintenance",
+                duration=duration,
+                bytes=region.dirty_bytes,
+                path=tag,
+                region=region.region_id,
+            )
+            return duration
+        raise DegradedModeError(
+            f"region {region.region_id}: maintenance did not converge within "
+            f"{self.MAX_MAINTENANCE_ROUNDS} ladder rounds"
+        )
 
     def begin_access_read(self, region, reader_vdev, reader_loc):
         """Block until coherent at the reader — near zero after a good prefetch."""
@@ -179,23 +388,11 @@ class UnifiedPrefetchProtocol(CoherenceProtocol):
             if prefetch is not None and reader_loc in region.prefetch_targets:
                 self.prefetch_joins += 1
                 yield prefetch  # join the in-flight ahead-of-time copy
-            else:
-                # Misprediction or suspension: synchronous maintenance.
+            if not region.is_valid_at(reader_loc):
+                # Misprediction, suspension, or a prefetch that died on a
+                # transient fault: synchronous maintenance.
                 self.sync_misses += 1
-                duration = yield from self._planner.copy_unified(
-                    region.last_writer_location or HOST_LOCATION,
-                    reader_loc,
-                    region.dirty_bytes,
-                )
-                region.note_copy(reader_loc)
-                self._trace.record(
-                    self._sim.now,
-                    "coherence.maintenance",
-                    duration=duration,
-                    bytes=region.dirty_bytes,
-                    path="sync-miss",
-                    region=region.region_id,
-                )
+                yield from self._maintain(region, reader_loc, "sync-miss")
         return self._sim.now - start
 
     def executor_after_write(self, region, writer_vdev, writer_loc):
@@ -210,21 +407,8 @@ class UnifiedPrefetchProtocol(CoherenceProtocol):
             prefetch = region.pending_prefetch
             if prefetch is not None and reader_loc in region.prefetch_targets:
                 yield prefetch
-            else:
-                duration = yield from self._planner.copy_unified(
-                    region.last_writer_location or HOST_LOCATION,
-                    reader_loc,
-                    region.dirty_bytes,
-                )
-                region.note_copy(reader_loc)
-                self._trace.record(
-                    self._sim.now,
-                    "coherence.maintenance",
-                    duration=duration,
-                    bytes=region.dirty_bytes,
-                    path="executor-miss",
-                    region=region.region_id,
-                )
+            if not region.is_valid_at(reader_loc):
+                yield from self._maintain(region, reader_loc, "executor-miss")
 
     def write_compensation(self, region: SvmRegion) -> float:
         """The engine computed this at launch time (§3.3's time delta)."""
@@ -255,7 +439,7 @@ class UnifiedWriteInvalidate(CoherenceProtocol):
         ):
             yield region.write_fence.wait()
         if not region.is_valid_at(reader_loc):
-            duration = yield from self._planner.copy_unified(
+            duration = yield from self._planner.copy_unified_resilient(
                 region.last_writer_location or HOST_LOCATION,
                 reader_loc,
                 region.dirty_bytes,
@@ -277,7 +461,7 @@ class UnifiedWriteInvalidate(CoherenceProtocol):
 
     def executor_before_read(self, region, reader_vdev, reader_loc):
         if not region.is_valid_at(reader_loc):
-            duration = yield from self._planner.copy_unified(
+            duration = yield from self._planner.copy_unified_resilient(
                 region.last_writer_location or HOST_LOCATION,
                 reader_loc,
                 region.dirty_bytes,
@@ -312,6 +496,7 @@ class UnifiedBroadcast(CoherenceProtocol):
         self._planner = planner
         self._trace = trace
         self.broadcast_copies = 0
+        self.broadcast_failures = 0
 
     def _targets(self, writer_loc: str):
         return [
@@ -331,8 +516,8 @@ class UnifiedBroadcast(CoherenceProtocol):
             prefetch = region.pending_prefetch
             if prefetch is not None and reader_loc in region.prefetch_targets:
                 yield prefetch  # join the in-flight broadcast
-            else:
-                duration = yield from self._planner.copy_unified(
+            if not region.is_valid_at(reader_loc):  # miss, or the push failed
+                duration = yield from self._planner.copy_unified_resilient(
                     region.last_writer_location or HOST_LOCATION,
                     reader_loc,
                     region.dirty_bytes,
@@ -366,8 +551,21 @@ class UnifiedBroadcast(CoherenceProtocol):
         return
         yield  # pragma: no cover - generator form required by the interface
 
-    def _push(self, region, src, dst, ):
-        duration = yield from self._planner.copy_unified(src, dst, region.dirty_bytes)
+    def _push(self, region, src, dst):
+        try:
+            duration = yield from self._planner.copy_unified_resilient(
+                src, dst, region.dirty_bytes
+            )
+        except RECOVERABLE_COPY_ERRORS as err:
+            # A failed push only costs bandwidth savings: the reader-side
+            # safety net re-copies on demand. Never poison the joiners.
+            self.broadcast_failures += 1
+            self._trace.record(
+                self._sim.now, "broadcast.failed",
+                bytes=region.dirty_bytes, region=region.region_id,
+                error=type(err).__name__,
+            )
+            return 0.0
         region.note_copy(dst)
         self.broadcast_copies += 1
         self._trace.record(
@@ -387,8 +585,8 @@ class UnifiedBroadcast(CoherenceProtocol):
             prefetch = region.pending_prefetch
             if prefetch is not None and reader_loc in region.prefetch_targets:
                 yield prefetch
-            else:
-                duration = yield from self._planner.copy_unified(
+            if not region.is_valid_at(reader_loc):  # miss, or the push failed
+                duration = yield from self._planner.copy_unified_resilient(
                     region.last_writer_location or HOST_LOCATION,
                     reader_loc,
                     region.dirty_bytes,
@@ -443,7 +641,7 @@ class GuestMemoryWriteInvalidate(CoherenceProtocol):
             region.note_copy(GUEST_LOCATION)
             region.last_flush_duration = 0.0
             return
-        duration = yield from self._planner.copy_via_boundary(region.dirty_bytes)
+        duration = yield from self._planner.copy_via_boundary_resilient(region.dirty_bytes)
         region.note_copy(GUEST_LOCATION)
         region.last_flush_duration = duration
         self._trace.record(
@@ -459,7 +657,7 @@ class GuestMemoryWriteInvalidate(CoherenceProtocol):
         valid = self._valid_vdevs.setdefault(region.region_id, set())
         if reader_vdev in valid or reader_vdev == "cpu":
             return  # guest CPU reads its own memory mapping for free
-        duration = yield from self._planner.copy_via_boundary(region.dirty_bytes)
+        duration = yield from self._planner.copy_via_boundary_resilient(region.dirty_bytes)
         valid.add(reader_vdev)
         region.note_copy(reader_loc)
         flush_cost = region.last_flush_duration

@@ -22,6 +22,7 @@ import itertools
 from typing import Any, Dict, Generator, Optional
 
 from repro.core.coherence import CoherenceProtocol
+from repro.core.degradation import DegradationController
 from repro.core.region import AccessUsage, SvmRegion
 from repro.core.twin import TwinHypergraphs
 from repro.errors import SvmError, UnknownRegionError
@@ -49,11 +50,13 @@ class SvmManager:
         engine: Optional["PrefetchEngine"] = None,
         chain_reaction_threshold: Optional[float] = 2.0,
         chain_reaction_vdevs: Optional[set] = None,
+        degradation: Optional[DegradationController] = None,
     ):
         self._sim = sim
         self.twin = twin
         self.protocol = protocol
         self.engine = engine
+        self.degradation = degradation
         self._pools = dict(location_pools)
         self._trace = trace
         self.page_map_cost = page_map_cost
@@ -164,6 +167,11 @@ class SvmManager:
             region.write_in_flight = True
 
         latency = self._sim.now - start
+        extra = {}
+        if self.degradation is not None and self.degradation.degraded:
+            # Tag accesses made under degraded coherence so metrics can
+            # attribute latency spikes to the fault, not the workload.
+            extra["degraded_level"] = self.degradation.level
         self._trace.record(
             self._sim.now,
             "svm.access_latency",
@@ -172,6 +180,7 @@ class SvmManager:
             usage=usage.value,
             latency=latency,
             bytes=window,
+            **extra,
         )
         return latency
 

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Optional, Set
 
-from repro.core.coherence import CopyPlanner
+from repro.core.coherence import RECOVERABLE_COPY_ERRORS, CopyPlanner
+from repro.core.degradation import LEVEL_PREFETCHED, DegradationController
 from repro.core.region import SvmRegion
 from repro.core.twin import TwinHypergraphs
 from repro.sim import Simulator
@@ -54,6 +55,8 @@ class PrefetchStats:
         self.compensation_total_ms = 0.0
         self.compensations = 0
         self.wasted_prefetches = 0
+        self.degraded_skips = 0
+        self.prefetch_failures = 0
 
     @property
     def accuracy(self) -> Optional[float]:
@@ -93,12 +96,14 @@ class PrefetchEngine:
         suspend_cooldown: int = SUSPEND_COOLDOWN,
         default_slack: float = VSYNC_PERIOD_MS,
         zero_shot: bool = True,
+        degradation: Optional[DegradationController] = None,
     ):
         self._sim = sim
         self._twin = twin
         self._planner = planner
         self._vdev_location = vdev_location
         self._trace = trace
+        self.degradation = degradation
         self.failure_threshold = failure_threshold
         self.bandwidth_ratio = bandwidth_ratio
         self.suspend_cooldown = suspend_cooldown
@@ -115,6 +120,12 @@ class PrefetchEngine:
     def launch(self, region: SvmRegion, writer_vdev: str, writer_loc: str) -> None:
         """Called at host write retirement; spawns the ahead-of-time copy."""
         region.pending_compensation = 0.0
+        if self._degraded():
+            # The ladder stepped past the prefetched level: stay quiet until
+            # the controller offers level 0 again as a probe.
+            self.stats.degraded_skips += 1
+            region.prefetch_predicted_vdevs = None
+            return
         predicted = self._twin.predict_readers(
             region.region_id, writer_vdev, allow_zero_shot=self.zero_shot
         )
@@ -170,9 +181,37 @@ class PrefetchEngine:
             self.stats.compensations += 1
             self.stats.compensation_total_ms += region.pending_compensation
 
+    def _degraded(self) -> bool:
+        return (
+            self.degradation is not None
+            and self.degradation.plan_level() > LEVEL_PREFETCHED
+        )
+
     def _prefetch_copy(self, region: SvmRegion, src: str, dst: str, pedge):
-        duration = yield from self._planner.copy_unified(src, dst, region.dirty_bytes)
+        try:
+            duration = yield from self._planner.copy_unified_resilient(
+                src, dst, region.dirty_bytes
+            )
+        except RECOVERABLE_COPY_ERRORS as err:
+            # A dead prefetch must not poison its joiners: readers re-check
+            # validity after the join and fall back to sync maintenance.
+            self.stats.prefetch_failures += 1
+            if self.degradation is not None:
+                self.degradation.note_failure(
+                    LEVEL_PREFETCHED, reason=type(err).__name__
+                )
+            self._trace.record(
+                self._sim.now,
+                "prefetch.failed",
+                bytes=region.dirty_bytes,
+                region=region.region_id,
+                target=dst,
+                error=type(err).__name__,
+            )
+            return None
         region.note_copy(dst)
+        if self.degradation is not None:
+            self.degradation.note_success(LEVEL_PREFETCHED)
         if pedge is not None:
             self._twin.note_prefetch_duration(pedge, duration)
         self._trace.record(
@@ -245,7 +284,7 @@ class PrefetchEngine:
         if predicted is None or not predicted.reader_vdevs:
             return 0.0
         vkey = predicted.vedge.key if predicted.vedge is not None else None
-        if vkey is not None and vkey in self._suspended:
+        if self._degraded() or self._is_suspended(vkey, consume=False):
             return 0.0
         targets = self._remote_targets(predicted.reader_vdevs, writer_loc)
         if not targets:
@@ -281,14 +320,23 @@ class PrefetchEngine:
                         self._sim.now, "prefetch.suspend", flow=str(vkey)
                     )
 
-    def _is_suspended(self, vkey) -> bool:
+    def _is_suspended(self, vkey, consume: bool = True) -> bool:
+        """Whether this flow's prefetching is in cooldown.
+
+        A cooldown of N skips exactly N writes. The host-side launch path
+        passes ``consume=True``, spending one cooldown credit per skipped
+        write; the guest-driver path (:meth:`predicted_compensation`)
+        passes ``consume=False`` so both sides see the same verdict for
+        the same write — the driver reads, the host decrements.
+        """
         if vkey is None:
             return False
         remaining = self._suspended.get(vkey)
         if remaining is None:
             return False
-        if remaining <= 1:
+        if remaining <= 0:
             del self._suspended[vkey]
             return False
-        self._suspended[vkey] = remaining - 1
+        if consume:
+            self._suspended[vkey] = remaining - 1
         return True

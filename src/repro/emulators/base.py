@@ -32,6 +32,7 @@ from repro.core.coherence import (
     UnifiedPrefetchProtocol,
     UnifiedWriteInvalidate,
 )
+from repro.core.degradation import DegradationController
 from repro.core.fence import VirtualFenceTable
 from repro.core.flowcontrol import MimdFlowControl
 from repro.core.manager import SvmManager
@@ -47,7 +48,6 @@ from repro.core.region import (
     GUEST_LOCATION,
     HOST_LOCATION,
     AccessUsage,
-    SvmRegion,
     location_of,
 )
 from repro.core.twin import TwinHypergraphs
@@ -173,12 +173,13 @@ class Emulator:
             gb_per_s(spec.boundary_copy_gbps * config.coherence_bandwidth_scale),
             latency=spec.vm_exit_cost_ms,
         )
-        self.planner = CopyPlanner(sim, machine, boundary=self._boundary)
+        self.planner = CopyPlanner(sim, machine, boundary=self._boundary, trace=self.trace)
 
         locations = set(self.planner.known_locations()) | {GUEST_LOCATION}
         self.twin = TwinHypergraphs(VDEV_NAMES, locations)
 
         self.engine: Optional[PrefetchEngine] = None
+        self.degradation: Optional[DegradationController] = None
         self.protocol = self._build_protocol()
 
         location_pools = {HOST_LOCATION: machine.host_memory, GUEST_LOCATION: machine.guest_memory}
@@ -194,6 +195,7 @@ class Emulator:
             page_map_cost=spec.page_map_cost_ms * config.page_map_scale,
             extra_access_overhead=config.extra_access_overhead_ms,
             engine=self.engine,
+            degradation=self.degradation,
         )
 
         from repro.guest.transport import VirtioTransport  # local: avoids cycle
@@ -234,10 +236,15 @@ class Emulator:
 
             return UnifiedBroadcast(self.sim, self.planner, self.trace)
         if self.config.prefetch_enabled:
+            self.degradation = DegradationController(self.sim, trace=self.trace)
             self.engine = PrefetchEngine(
-                self.sim, self.twin, self.planner, self.vdev_location, self.trace
+                self.sim, self.twin, self.planner, self.vdev_location, self.trace,
+                degradation=self.degradation,
             )
-            return UnifiedPrefetchProtocol(self.sim, self.planner, self.engine, self.trace)
+            return UnifiedPrefetchProtocol(
+                self.sim, self.planner, self.engine, self.trace,
+                degradation=self.degradation,
+            )
         return UnifiedWriteInvalidate(self.sim, self.planner, self.trace)
 
     def _resolve_physical(self, vdev: str) -> Optional[PhysicalDevice]:
@@ -412,7 +419,7 @@ class Emulator:
                 region.pending_writer_location = location
             commands.append(SignalFenceCommand(fence))
 
-        yield from self.transport.kick(len(commands))
+        yield from self.transport.kick_reliable(len(commands))
         for command in commands:
             yield device.queue.put(command)
 

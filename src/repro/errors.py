@@ -24,6 +24,22 @@ class HardwareError(ReproError):
     """A hardware model was misused (unknown device, bad bandwidth, ...)."""
 
 
+class TransientCopyError(HardwareError):
+    """A DMA/bus transfer failed mid-flight; the copy may be retried."""
+
+
+class TransportDropError(ReproError):
+    """A guest→host transport kick was lost before the host observed it."""
+
+
+class DeadlineExceededError(ReproError):
+    """An operation outlived its watchdog deadline."""
+
+
+class DegradedModeError(ReproError):
+    """Coherence maintenance keeps failing at the deepest fallback rung."""
+
+
 class SvmError(ReproError):
     """Shared-virtual-memory contract violation (bad handle, double free)."""
 

@@ -310,8 +310,38 @@ def cmd_sweeps(quick: bool) -> None:
         print(f"    {gbps:5.1f} GB/s -> {fps:5.1f} FPS")
 
 
+def cmd_chaos(quick: bool) -> None:
+    from repro.experiments.chaos import run_fault_classes
+
+    duration = 6_000.0 if quick else 10_000.0
+    results = run_fault_classes(duration_ms=duration)
+    print("Chaos harness — UHD video on vSoC per fault class:")
+    rows = []
+    for label, r in results.items():
+        rows.append([
+            label,
+            f"{r.fps:.1f}",
+            f"{r.steady_fps:.1f}",
+            str(r.degrades),
+            str(r.restores),
+            f"{r.time_degraded_ms:.0f}",
+            str(r.retries),
+        ])
+    print(format_table(
+        ["Fault class", "FPS", "Steady FPS", "Degr", "Rest", "DegrMs", "Retries"],
+        rows,
+    ))
+    baseline = results["fault-free"]
+    chaos = results["full-chaos"]
+    print(f"\nFull-chaos steady-state FPS {chaos.steady_fps:.1f} vs "
+          f"fault-free {baseline.steady_fps:.1f} "
+          f"(bar: within 2x after fault clearance)")
+    print(f"Injected: {chaos.injected}")
+
+
 COMMANDS = {
     "table2": cmd_table2,
+    "chaos": cmd_chaos,
     "ablations": cmd_ablations,
     "density": cmd_density,
     "sweeps": cmd_sweeps,

@@ -1,0 +1,176 @@
+"""Chaos scenarios: app runs under injected faults.
+
+:func:`run_chaos` runs one app on one emulator while a seeded
+:class:`~repro.faults.FaultInjector` executes a :class:`~repro.faults.FaultPlan`
+against its buses, devices, and transport. The result splits FPS into the
+whole-run average and the *steady state* after the last fault clears —
+the number the acceptance bar ("within 2× of fault-free after clearance")
+is measured on.
+
+The default scenario is the acceptance scenario from the fault-model spec:
+a flapping PCIe link, a window of transient DMA failures dense enough to
+drive the coherence ladder down, one GPU stall, and a burst of dropped
+virtio kicks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.base import App
+from repro.apps.video import UhdVideoApp
+from repro.emulators import EMULATOR_FACTORIES
+from repro.emulators.base import Emulator
+from repro.faults import FaultInjector, FaultPlan
+from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec, build_machine
+from repro.metrics.collectors import ResilienceStats
+from repro.sim import Simulator
+from repro.sim.tracing import TraceLog
+from repro.units import SECOND
+
+DEFAULT_CHAOS_DURATION_MS = 10_000.0
+
+#: Grace period after the last plan event before the "steady state" window
+#: starts — in-flight retries and the re-probe interval need a moment.
+CLEARANCE_GRACE_MS = 1_000.0
+
+
+def default_chaos_plan() -> FaultPlan:
+    """Bus flap + transient DMA failures + one device stall + kick drops."""
+    return (
+        FaultPlan()
+        .flap_bus("pcie", start_ms=1_500.0, period_ms=500.0, cycles=6, high_load=0.85)
+        .copy_faults(2_000.0, 4_500.0, probability=0.7, bus="pcie")
+        .stall_device(3_000.0, "gpu", duration_ms=120.0)
+        .transport_faults(2_500.0, 4_000.0, drop_probability=0.25)
+    )
+
+
+@dataclass
+class ChaosResult:
+    """One chaos run, digested."""
+
+    emulator: str
+    seed: int
+    duration_ms: float
+    fps: float
+    steady_fps: float
+    steady_after_ms: float
+    presented: int
+    degrades: int
+    restores: int
+    time_degraded_ms: float
+    injected: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    copy_failures: int = 0
+    watchdog_expiries: int = 0
+    prefetch_failures: int = 0
+    transport_drops: int = 0
+    degrade_events: List[Tuple[float, int]] = field(default_factory=list)
+    restore_events: List[Tuple[float, int]] = field(default_factory=list)
+    trace: Optional[TraceLog] = None
+
+    @property
+    def entered_degraded(self) -> bool:
+        return self.degrades > 0
+
+    @property
+    def exited_degraded(self) -> bool:
+        return self.restores > 0 and self.time_degraded_ms < self.duration_ms
+
+
+def run_chaos(
+    emulator_name: str = "vSoC",
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_CHAOS_DURATION_MS,
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    app: Optional[App] = None,
+    watchdog_margin: Optional[float] = 6.0,
+    keep_trace: bool = False,
+) -> ChaosResult:
+    """Run one app under one fault plan; fully deterministic per seed.
+
+    ``plan=None`` uses :func:`default_chaos_plan`; pass an *empty*
+    ``FaultPlan()`` for the fault-free baseline (same harness, no
+    injection). ``watchdog_margin`` arms the copy planner's per-operation
+    deadline at ``margin × estimate``; ``None`` leaves watchdogs off.
+    """
+    plan = plan if plan is not None else default_chaos_plan()
+    app = app if app is not None else UhdVideoApp()
+
+    sim = Simulator()
+    machine = build_machine(sim, machine_spec)
+    trace = TraceLog()
+    make = EMULATOR_FACTORIES[emulator_name]
+    emulator: Emulator = make(sim, machine, trace=trace, rng=random.Random(seed))
+    if watchdog_margin is not None:
+        emulator.planner.watchdog_margin = watchdog_margin
+
+    injector = FaultInjector(sim, plan, seed=seed, trace=trace)
+    if not plan.is_empty():
+        injector.install(emulator)
+
+    if not app.install(sim, emulator):
+        raise RuntimeError(f"app {app.name!r} failed to install on {emulator_name}")
+    sim.run(until=duration_ms)
+
+    resilience = ResilienceStats(trace)
+    steady_after = min(duration_ms, plan.last_fault_time() + CLEARANCE_GRACE_MS)
+    steady_window = duration_ms - steady_after
+    steady_frames = sum(1 for t in app.fps.present_times if t >= steady_after)
+    steady_fps = steady_frames / (steady_window / SECOND) if steady_window > 0 else 0.0
+
+    return ChaosResult(
+        emulator=emulator_name,
+        seed=seed,
+        duration_ms=duration_ms,
+        fps=app.fps.fps(duration_ms, warmup_ms=app.warmup_ms),
+        steady_fps=steady_fps,
+        steady_after_ms=steady_after,
+        presented=app.fps.presented,
+        degrades=resilience.degrades,
+        restores=resilience.restores,
+        time_degraded_ms=resilience.time_in_degraded_mode(duration_ms),
+        injected=injector.stats.as_dict(),
+        retries=resilience.retries,
+        copy_failures=emulator.planner.copy_failures,
+        watchdog_expiries=emulator.planner.watchdog_expiries,
+        prefetch_failures=resilience.prefetch_failures,
+        transport_drops=emulator.transport.kicks_dropped,
+        degrade_events=resilience.degrade_events(),
+        restore_events=resilience.restore_events(),
+        trace=trace if keep_trace else None,
+    )
+
+
+def run_fault_classes(
+    emulator_name: str = "vSoC",
+    duration_ms: float = DEFAULT_CHAOS_DURATION_MS,
+    seed: int = 0,
+) -> Dict[str, ChaosResult]:
+    """One run per fault class, plus fault-free and the full scenario.
+
+    This is the per-class report ``benchmarks/bench_chaos.py`` prints:
+    how much FPS each class of disturbance costs on its own.
+    """
+    plans: Dict[str, FaultPlan] = {
+        "fault-free": FaultPlan(),
+        "bus-flap": FaultPlan().flap_bus(
+            "pcie", start_ms=1_500.0, period_ms=500.0, cycles=6, high_load=0.85
+        ),
+        "copy-faults": FaultPlan().copy_faults(2_000.0, 4_500.0, probability=0.7, bus="pcie"),
+        "device-stall": FaultPlan().stall_device(3_000.0, "gpu", duration_ms=120.0),
+        "transport-drops": FaultPlan().transport_faults(
+            2_500.0, 4_000.0, drop_probability=0.25
+        ),
+        "full-chaos": default_chaos_plan(),
+    }
+    return {
+        label: run_chaos(
+            emulator_name, duration_ms=duration_ms, seed=seed, plan=plan
+        )
+        for label, plan in plans.items()
+    }

@@ -1,0 +1,227 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a validated, immutable-after-build description of
+*what goes wrong when*: bus load changes and flapping, windows of transient
+copy failures, device stalls/resets, and guest-transport drop/delay windows.
+Plans carry no randomness themselves — probabilities are resolved by the
+:class:`~repro.faults.injector.FaultInjector` with its seeded RNG, so one
+plan replayed with one seed yields one trace, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+
+def _check_time(label: str, value: float) -> None:
+    if not math.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{label} must be finite and >= 0, got {value}")
+
+
+def _check_probability(label: str, value: float) -> None:
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{label} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class BusLoadEvent:
+    """At ``time_ms``, set bus ``bus`` to external load ``load``."""
+
+    time_ms: float
+    bus: str
+    load: float
+
+
+@dataclass(frozen=True)
+class CopyFaultWindow:
+    """During [start_ms, end_ms), transfers fail with ``probability``.
+
+    ``bus=None`` applies to every bus the injector is installed on. A
+    failing transfer burns a deterministic-per-draw fraction of its wire
+    time before raising, so faults still contend for bandwidth.
+    """
+
+    start_ms: float
+    end_ms: float
+    probability: float
+    bus: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeviceStallEvent:
+    """At ``time_ms``, wedge ``device`` for ``duration_ms`` (lock held)."""
+
+    time_ms: float
+    device: str
+    duration_ms: float
+
+
+@dataclass(frozen=True)
+class DeviceResetEvent:
+    """At ``time_ms``, reset ``device``: ``downtime_ms`` stall + thermal clear."""
+
+    time_ms: float
+    device: str
+    downtime_ms: float
+
+
+@dataclass(frozen=True)
+class TransportFaultWindow:
+    """During [start_ms, end_ms), kicks drop or stretch with given odds."""
+
+    start_ms: float
+    end_ms: float
+    drop_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_ms: float = 0.0
+
+
+class FaultPlan:
+    """Chainable builder for a deterministic fault timeline.
+
+    Example::
+
+        plan = (
+            FaultPlan()
+            .flap_bus("pcie", start_ms=1500, period_ms=500, cycles=6, high_load=0.85)
+            .copy_faults(2000, 4500, probability=0.7, bus="pcie")
+            .stall_device(3000, "gpu", duration_ms=120)
+            .transport_faults(2500, 4000, drop_probability=0.25)
+        )
+    """
+
+    def __init__(self) -> None:
+        self.bus_loads: List[BusLoadEvent] = []
+        self.copy_windows: List[CopyFaultWindow] = []
+        self.stalls: List[DeviceStallEvent] = []
+        self.resets: List[DeviceResetEvent] = []
+        self.transport_windows: List[TransportFaultWindow] = []
+
+    # -- bus degradation -----------------------------------------------------
+    def set_bus_load(self, time_ms: float, bus: str, load: float) -> "FaultPlan":
+        """Schedule one external-load change on a bus."""
+        _check_time("bus load time", time_ms)
+        if not math.isfinite(load) or not 0.0 <= load < 1.0:
+            raise ConfigurationError(f"bus load must be finite and in [0, 1), got {load}")
+        self.bus_loads.append(BusLoadEvent(time_ms, bus, load))
+        return self
+
+    def flap_bus(
+        self,
+        bus: str,
+        start_ms: float,
+        period_ms: float,
+        cycles: int,
+        high_load: float,
+        low_load: float = 0.0,
+    ) -> "FaultPlan":
+        """Alternate a bus between ``high_load`` and ``low_load``.
+
+        Each cycle holds ``high_load`` for half a period, then ``low_load``
+        for the other half — the load-raised-then-dropped pattern the
+        bandwidth-suspension rule must survive.
+        """
+        _check_time("flap start", start_ms)
+        if not math.isfinite(period_ms) or period_ms <= 0:
+            raise ConfigurationError(f"flap period must be finite and > 0, got {period_ms}")
+        if cycles < 1:
+            raise ConfigurationError(f"flap cycles must be >= 1, got {cycles}")
+        half = period_ms / 2.0
+        for i in range(cycles):
+            t = start_ms + i * period_ms
+            self.set_bus_load(t, bus, high_load)
+            self.set_bus_load(t + half, bus, low_load)
+        return self
+
+    # -- transient copy failures ---------------------------------------------
+    def copy_faults(
+        self,
+        start_ms: float,
+        end_ms: float,
+        probability: float,
+        bus: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Fail transfers with ``probability`` during [start_ms, end_ms)."""
+        _check_time("copy-fault window start", start_ms)
+        _check_time("copy-fault window end", end_ms)
+        if end_ms <= start_ms:
+            raise ConfigurationError(
+                f"copy-fault window must have end > start, got [{start_ms}, {end_ms})"
+            )
+        _check_probability("copy-fault probability", probability)
+        self.copy_windows.append(CopyFaultWindow(start_ms, end_ms, probability, bus))
+        return self
+
+    # -- device stalls and resets --------------------------------------------
+    def stall_device(self, time_ms: float, device: str, duration_ms: float) -> "FaultPlan":
+        """Wedge a physical device's engine for ``duration_ms``."""
+        _check_time("stall time", time_ms)
+        if not math.isfinite(duration_ms) or duration_ms <= 0:
+            raise ConfigurationError(
+                f"stall duration must be finite and > 0, got {duration_ms}"
+            )
+        self.stalls.append(DeviceStallEvent(time_ms, device, duration_ms))
+        return self
+
+    def reset_device(self, time_ms: float, device: str, downtime_ms: float) -> "FaultPlan":
+        """Reset a physical device (stall + thermal state clear)."""
+        _check_time("reset time", time_ms)
+        if not math.isfinite(downtime_ms) or downtime_ms <= 0:
+            raise ConfigurationError(
+                f"reset downtime must be finite and > 0, got {downtime_ms}"
+            )
+        self.resets.append(DeviceResetEvent(time_ms, device, downtime_ms))
+        return self
+
+    # -- transport faults ----------------------------------------------------
+    def transport_faults(
+        self,
+        start_ms: float,
+        end_ms: float,
+        drop_probability: float = 0.0,
+        delay_probability: float = 0.0,
+        delay_ms: float = 0.0,
+    ) -> "FaultPlan":
+        """Drop or delay guest→host kicks during [start_ms, end_ms)."""
+        _check_time("transport window start", start_ms)
+        _check_time("transport window end", end_ms)
+        if end_ms <= start_ms:
+            raise ConfigurationError(
+                f"transport window must have end > start, got [{start_ms}, {end_ms})"
+            )
+        _check_probability("drop probability", drop_probability)
+        _check_probability("delay probability", delay_probability)
+        _check_time("transport delay", delay_ms)
+        if delay_probability > 0 and delay_ms <= 0:
+            raise ConfigurationError("delay_ms must be > 0 when delays are enabled")
+        self.transport_windows.append(
+            TransportFaultWindow(start_ms, end_ms, drop_probability, delay_probability, delay_ms)
+        )
+        return self
+
+    # -- introspection --------------------------------------------------------
+    def last_fault_time(self) -> float:
+        """When the plan's last injected disturbance ends (ms).
+
+        Chaos reports use this to split a run into the fault phase and the
+        post-clearance steady state.
+        """
+        times = [e.time_ms for e in self.bus_loads]
+        times += [w.end_ms for w in self.copy_windows]
+        times += [s.time_ms + s.duration_ms for s in self.stalls]
+        times += [r.time_ms + r.downtime_ms for r in self.resets]
+        times += [w.end_ms for w in self.transport_windows]
+        return max(times, default=0.0)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.bus_loads
+            or self.copy_windows
+            or self.stalls
+            or self.resets
+            or self.transport_windows
+        )

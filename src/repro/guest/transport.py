@@ -12,10 +12,22 @@ place, and counts kicks/commands for the experiments.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Callable, Generator, Optional, Tuple
 
-from repro.errors import ConfigurationError
-from repro.sim import Simulator, Timeout
+from repro.errors import ConfigurationError, TransportDropError
+from repro.sim import RetryPolicy, Simulator, Timeout, retrying
+
+#: Optional fault hook: called once per kick with ``(transport, batch_size)``.
+#: Return ``None`` for a clean kick, ``("drop",)`` to lose the kick after its
+#: cost is paid (raises :class:`TransportDropError`), or ``("delay", ms)`` to
+#: stretch the dispatch by ``ms`` — a stalled VM exit.
+TransportFaultHook = Callable[["VirtioTransport", int], Optional[Tuple[Any, ...]]]
+
+#: Dropped kicks clear when the fault window closes, so the reliable path
+#: retries forever with a capped backoff rather than giving up mid-window.
+KICK_RETRY_POLICY = RetryPolicy(
+    max_attempts=None, base_delay_ms=0.02, multiplier=2.0, max_delay_ms=1.0
+)
 
 
 class VirtioTransport:
@@ -34,6 +46,11 @@ class VirtioTransport:
         self.per_command_cost = per_command_cost
         self.kicks = 0
         self.commands = 0
+        self.kick_attempts = 0
+        self.kicks_dropped = 0
+        self.kicks_delayed = 0
+        self.delay_total_ms = 0.0
+        self.fault_hook: Optional[TransportFaultHook] = None
 
     def dispatch_cost(self, batch_size: int) -> float:
         """Driver-side delay for one kick carrying ``batch_size`` commands."""
@@ -42,13 +59,44 @@ class VirtioTransport:
         return self.kick_cost + batch_size * self.per_command_cost
 
     def kick(self, batch_size: int = 1) -> Generator[Any, Any, float]:
-        """Process: pay the dispatch cost for a batch; returns the delay."""
+        """Process: pay the dispatch cost for a batch; returns the delay.
+
+        With a fault hook installed, a kick may be delayed (dispatch takes
+        longer) or dropped — the cost is paid, then :class:`TransportDropError`
+        is raised, because a lost doorbell burns the VM exit regardless.
+        ``kicks``/``commands`` count only *successful* kicks so
+        :attr:`amortized_cost` keeps its meaning under fault injection.
+        """
         cost = self.dispatch_cost(batch_size)
-        self.kicks += 1
-        self.commands += batch_size
+        self.kick_attempts += 1
+        verdict = self.fault_hook(self, batch_size) if self.fault_hook is not None else None
+        if verdict is not None and verdict[0] == "delay":
+            extra = float(verdict[1])
+            self.kicks_delayed += 1
+            self.delay_total_ms += extra
+            cost += extra
         if cost > 0:
             yield Timeout(cost)
+        if verdict is not None and verdict[0] == "drop":
+            self.kicks_dropped += 1
+            raise TransportDropError(
+                f"kick of {batch_size} command(s) lost across the boundary"
+            )
+        self.kicks += 1
+        self.commands += batch_size
         return cost
+
+    def kick_reliable(self, batch_size: int = 1) -> Generator[Any, Any, float]:
+        """Process: :meth:`kick`, retried with backoff until it lands."""
+        return (
+            yield from retrying(
+                self._sim,
+                lambda: self.kick(batch_size),
+                KICK_RETRY_POLICY,
+                retry_on=(TransportDropError,),
+                name="transport.kick",
+            )
+        )
 
     @property
     def amortized_cost(self) -> float:

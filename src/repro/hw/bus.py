@@ -13,12 +13,19 @@ capabilities of supported devices to help reduce CPU load."
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+import math
+from typing import Any, Callable, Generator, Optional
 
-from repro.errors import HardwareError
+from repro.errors import HardwareError, TransientCopyError
 from repro.sim import Mutex, Simulator, Timeout
 from repro.sim.kernel import Process
 from repro.units import to_gb_per_s
+
+#: Optional fault hook: called once per transfer (inside the bus lock) with
+#: ``(bus, nbytes)``. Return ``None`` for a clean transfer, or a fraction in
+#: [0, 1] — the transfer burns that fraction of its duration on the wire and
+#: then fails with :class:`TransientCopyError`.
+FaultHook = Callable[["Bus", int], Optional[float]]
 
 
 class Bus:
@@ -40,10 +47,14 @@ class Bus:
     """
 
     def __init__(self, sim: Simulator, name: str, bandwidth: float, latency: float = 0.0):
-        if bandwidth <= 0:
-            raise HardwareError(f"bus {name!r} bandwidth must be positive")
-        if latency < 0:
-            raise HardwareError(f"bus {name!r} latency must be >= 0")
+        if not math.isfinite(bandwidth) or bandwidth <= 0:
+            raise HardwareError(
+                f"bus {name!r} bandwidth must be finite and positive, got {bandwidth}"
+            )
+        if not math.isfinite(latency) or latency < 0:
+            raise HardwareError(
+                f"bus {name!r} latency must be finite and >= 0, got {latency}"
+            )
         self._sim = sim
         self.name = name
         self.bandwidth = bandwidth
@@ -53,12 +64,16 @@ class Bus:
         self.bytes_moved = 0
         self.busy_time = 0.0
         self.transfer_count = 0
+        self.transfer_failures = 0
+        self.fault_hook: Optional[FaultHook] = None
 
     # -- contention injection ------------------------------------------------
     def set_load(self, load: float) -> None:
         """Set external contention in [0, 1); available bw = bw * (1-load)."""
-        if not 0.0 <= load < 1.0:
-            raise HardwareError(f"bus load must be in [0, 1), got {load}")
+        if not math.isfinite(load) or not 0.0 <= load < 1.0:
+            raise HardwareError(
+                f"bus {self.name!r} load must be finite and in [0, 1), got {load}"
+            )
         self._load = load
 
     @property
@@ -86,6 +101,19 @@ class Bus:
         yield self._lock.acquire()
         try:
             duration = self.transfer_time(nbytes)
+            fraction = self.fault_hook(self, nbytes) if self.fault_hook is not None else None
+            if fraction is not None:
+                # The wire is held for part of the transfer before the fault
+                # surfaces, so failed copies still contend like real ones.
+                wasted = duration * min(max(fraction, 0.0), 1.0)
+                if wasted > 0:
+                    yield Timeout(wasted)
+                self.busy_time += wasted
+                self.transfer_failures += 1
+                raise TransientCopyError(
+                    f"transfer of {nbytes} bytes on bus {self.name!r} failed "
+                    f"after {wasted:.3f} ms"
+                )
             if duration > 0:
                 yield Timeout(duration)
             self.bytes_moved += nbytes

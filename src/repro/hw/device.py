@@ -88,6 +88,8 @@ class PhysicalDevice:
         self._exec_lock = Mutex(sim, name=f"dev:{name}")
         self.busy_time = 0.0
         self.ops_executed = 0
+        self.stalls_injected = 0
+        self.resets = 0
 
     # -- cost queries ------------------------------------------------------
     def supports(self, op: str) -> bool:
@@ -130,6 +132,45 @@ class PhysicalDevice:
         finally:
             self._exec_lock.release()
         return duration
+
+    # -- fault injection ----------------------------------------------------
+    def inject_stall(self, duration_ms: float) -> None:
+        """Freeze the device: hold its engine lock for ``duration_ms``.
+
+        Queued and newly submitted ops wait behind the stall exactly like
+        they would behind a wedged firmware command — no exception surfaces,
+        work just stops flowing until the stall ends.
+        """
+        if duration_ms <= 0:
+            raise HardwareError(f"stall duration must be positive, got {duration_ms}")
+        self.stalls_injected += 1
+
+        def _stall() -> Generator[Any, Any, None]:
+            yield self._exec_lock.acquire()
+            try:
+                yield Timeout(duration_ms)
+                self.busy_time += duration_ms
+            finally:
+                self._exec_lock.release()
+
+        self._sim.spawn(_stall(), name=f"{self.name}.stall{self.stalls_injected}")
+
+    def inject_reset(self, downtime_ms: float) -> None:
+        """Reset the device: a stall plus clearing any thermal throttle state."""
+        if downtime_ms <= 0:
+            raise HardwareError(f"reset downtime must be positive, got {downtime_ms}")
+        self.resets += 1
+        if self.thermal is not None:
+            self.thermal.reset()
+
+        def _reset() -> Generator[Any, Any, None]:
+            yield self._exec_lock.acquire()
+            try:
+                yield Timeout(downtime_ms)
+            finally:
+                self._exec_lock.release()
+
+        self._sim.spawn(_reset(), name=f"{self.name}.reset{self.resets}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} kind={self.kind.value}>"

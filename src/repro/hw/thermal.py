@@ -10,6 +10,8 @@ it, and crossing a threshold multiplies device speed by a throttle factor
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ConfigurationError
 from repro.sim import Simulator
 
@@ -40,8 +42,21 @@ class ThermalModel:
         recover_at: float = 12_000.0,
         throttled_factor: float = 0.35,
     ):
+        for label, value in (
+            ("heat_per_busy_ms", heat_per_busy_ms),
+            ("cool_per_ms", cool_per_ms),
+            ("throttle_at", throttle_at),
+            ("recover_at", recover_at),
+            ("throttled_factor", throttled_factor),
+        ):
+            if not math.isfinite(value) or value < 0:
+                raise ConfigurationError(
+                    f"thermal parameter {label} must be finite and >= 0, got {value}"
+                )
         if not 0 < throttled_factor <= 1.0:
-            raise ConfigurationError("throttled_factor must be in (0, 1]")
+            raise ConfigurationError(
+                f"throttled_factor must be in (0, 1], got {throttled_factor}"
+            )
         if recover_at >= throttle_at:
             raise ConfigurationError("recover_at must be below throttle_at")
         if cool_per_ms >= heat_per_busy_ms:
@@ -79,11 +94,17 @@ class ThermalModel:
     # -- public API ---------------------------------------------------------
     def note_busy(self, busy_ms: float) -> None:
         """Record ``busy_ms`` of full-speed-equivalent device work."""
-        if busy_ms < 0:
-            raise ConfigurationError("busy time must be >= 0")
+        if not math.isfinite(busy_ms) or busy_ms < 0:
+            raise ConfigurationError(f"busy time must be finite and >= 0, got {busy_ms}")
         self._settle()
         self._heat += busy_ms * self.heat_per_busy_ms
         self._refresh_state()
+
+    def reset(self) -> None:
+        """Drop all accumulated heat — models a device reset / power cycle."""
+        self._heat = 0.0
+        self._last_update = self._sim.now
+        self._throttled = False
 
     def speed_factor(self) -> float:
         """Current speed multiplier: 1.0 normally, throttled_factor when hot."""

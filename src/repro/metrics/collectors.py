@@ -6,6 +6,9 @@
   minus the frame's birth (capture / arrival) time.
 * :class:`SvmStats` — post-hoc digestion of a :class:`TraceLog` into the
   Table 2 metrics (access latency, coherence cost, throughput).
+* :class:`ResilienceStats` — fault/retry/degradation accounting from the
+  ``fault.*``, ``retry.backoff`` and ``coherence.degrade/restore`` records
+  a chaos run leaves behind.
 """
 
 from __future__ import annotations
@@ -108,3 +111,80 @@ class SvmStats:
         if self.duration_ms <= 0:
             return 0.0
         return total / self.duration_ms
+
+
+class ResilienceStats:
+    """Fault, retry, and degradation accounting distilled from a trace."""
+
+    def __init__(self, trace: TraceLog):
+        self.trace = trace
+
+    # -- injected faults -----------------------------------------------------
+    def fault_counts(self) -> Dict[str, int]:
+        """Histogram of every ``fault.*`` record kind in the trace."""
+        return {
+            kind: count
+            for kind, count in self.trace.kind_counts().items()
+            if kind.startswith("fault.")
+        }
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.fault_counts().values())
+
+    # -- recovery machinery --------------------------------------------------
+    @property
+    def retries(self) -> int:
+        return self.trace.count("retry.backoff")
+
+    @property
+    def prefetch_failures(self) -> int:
+        return self.trace.count("prefetch.failed")
+
+    @property
+    def degrades(self) -> int:
+        return self.trace.count("coherence.degrade")
+
+    @property
+    def restores(self) -> int:
+        return self.trace.count("coherence.restore")
+
+    def degrade_events(self) -> List[tuple]:
+        """(time, level) for each escalation, in time order."""
+        return [(r.time, r["level"]) for r in self.trace.of_kind("coherence.degrade")]
+
+    def restore_events(self) -> List[tuple]:
+        """(time, level) for each restoration, in time order."""
+        return [(r.time, r["level"]) for r in self.trace.of_kind("coherence.restore")]
+
+    def time_in_degraded_mode(self, end_ms: float) -> float:
+        """Total ms the coherence ladder sat above level 0.
+
+        Walks the interleaved degrade/restore records; a run still degraded
+        at ``end_ms`` accrues until then.
+        """
+        events = sorted(
+            [(r.time, r["level"]) for r in self.trace.of_kind("coherence.degrade")]
+            + [(r.time, r["level"]) for r in self.trace.of_kind("coherence.restore")]
+        )
+        total = 0.0
+        entered: Optional[float] = None
+        for time, level in events:
+            if level > 0 and entered is None:
+                entered = time
+            elif level == 0 and entered is not None:
+                total += time - entered
+                entered = None
+        if entered is not None:
+            total += max(0.0, end_ms - entered)
+        return total
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "faults_injected": self.faults_injected,
+            "fault_counts": self.fault_counts(),
+            "retries": self.retries,
+            "prefetch_failures": self.prefetch_failures,
+            "degrades": self.degrades,
+            "restores": self.restores,
+        }

@@ -24,6 +24,7 @@ from repro.sim.primitives import (
     Timeout,
     Waitable,
 )
+from repro.sim.resilience import Deadline, RetryPolicy, retrying, with_deadline
 from repro.sim.tracing import TraceLog, TraceRecord
 
 __all__ = [
@@ -39,4 +40,8 @@ __all__ = [
     "FifoQueue",
     "TraceLog",
     "TraceRecord",
+    "RetryPolicy",
+    "retrying",
+    "Deadline",
+    "with_deadline",
 ]

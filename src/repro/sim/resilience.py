@@ -1,0 +1,189 @@
+"""Resilience primitives: bounded retries with backoff, and watchdogs.
+
+The paper's robustness story (§3.3, §5.3) is reactive — suspend prefetch on
+mispredictions, degrade under thermal collapse — but the mechanisms it
+reacts *with* are generic: retry an operation a bounded number of times with
+exponential backoff, and bound how long any one operation may run. This
+module provides those two primitives for simulation processes:
+
+* :class:`RetryPolicy` + :func:`retrying` — re-run a failed process with
+  exponentially growing (capped) delays between attempts;
+* :class:`Deadline` + :func:`with_deadline` — a watchdog: a waitable that
+  fails with :class:`~repro.errors.DeadlineExceededError` after a delay,
+  and a process wrapper racing an inner process against one.
+
+Both are fully deterministic: no unseeded randomness, delays are pure
+functions of the attempt number.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Tuple, Type
+
+from repro.errors import ConfigurationError, DeadlineExceededError
+from repro.sim.primitives import Callback, SimEvent, Timeout, Waitable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for retried operations.
+
+    ``max_attempts`` counts *total* tries (first try included); ``None``
+    retries forever — only safe when the failure is known to clear (a
+    finite fault window). The delay before retry *n* (n = 1 after the
+    first failure) is ``min(max_delay_ms, base_delay_ms * multiplier^(n-1))``.
+    """
+
+    max_attempts: Optional[int] = 3
+    base_delay_ms: float = 0.05
+    multiplier: float = 2.0
+    max_delay_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1 or None")
+        for label, value in (
+            ("base_delay_ms", self.base_delay_ms),
+            ("multiplier", self.multiplier),
+            ("max_delay_ms", self.max_delay_ms),
+        ):
+            if not math.isfinite(value) or value < 0:
+                raise ConfigurationError(
+                    f"{label} must be finite and >= 0, got {value}"
+                )
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1.0")
+
+    def delay_before_retry(self, failures: int) -> float:
+        """Backoff delay (ms) after the ``failures``-th consecutive failure."""
+        if failures < 1:
+            raise ConfigurationError("failures must be >= 1")
+        return min(self.max_delay_ms, self.base_delay_ms * self.multiplier ** (failures - 1))
+
+    def exhausted(self, failures: int) -> bool:
+        """True when ``failures`` consecutive failures end the retry loop."""
+        return self.max_attempts is not None and failures >= self.max_attempts
+
+
+def retrying(
+    sim: Any,
+    factory: Callable[[], Generator[Any, Any, Any]],
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...],
+    name: str = "op",
+    trace: Any = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Generator[Any, Any, Any]:
+    """Process: run ``factory()`` until success or the policy is exhausted.
+
+    ``factory`` must build a *fresh* generator per attempt. Exceptions not
+    listed in ``retry_on`` propagate immediately; the last retryable
+    exception re-raises once ``policy.max_attempts`` is reached. Each
+    retry appends a ``retry.backoff`` trace record (when ``trace`` is
+    given) and calls ``on_retry(failures, exc)`` — the hook the copy
+    planner uses to count retries.
+    """
+    failures = 0
+    while True:
+        try:
+            return (yield from factory())
+        except retry_on as err:
+            failures += 1
+            if policy.exhausted(failures):
+                raise
+            delay = policy.delay_before_retry(failures)
+            if trace is not None:
+                trace.record(
+                    sim.now,
+                    "retry.backoff",
+                    op=name,
+                    attempt=failures,
+                    delay=delay,
+                    error=type(err).__name__,
+                )
+            if on_retry is not None:
+                on_retry(failures, err)
+            if delay > 0:
+                yield Timeout(delay)
+
+
+class Deadline(Waitable):
+    """A watchdog waitable: fails after ``delay`` ms unless cancelled.
+
+    Yielding a live ``Deadline`` raises :class:`DeadlineExceededError` at
+    expiry; :meth:`cancel` disarms it (idempotent). Used standalone as a
+    per-operation timer, or via :func:`with_deadline` to bound a process.
+    """
+
+    def __init__(self, sim: Any, delay: float, label: str = "deadline"):
+        if not math.isfinite(delay) or delay <= 0:
+            raise ConfigurationError(f"deadline delay must be finite and > 0, got {delay}")
+        self._event = SimEvent(sim, name=label)
+        self.label = label
+        self.delay = delay
+        self.expired = False
+        self._handle = sim.schedule(delay, self._expire)
+
+    def _expire(self) -> None:
+        if not self._event.fired:
+            self.expired = True
+            self._event.fail(
+                DeadlineExceededError(f"{self.label!r} exceeded its {self.delay:.3f} ms deadline")
+            )
+
+    def cancel(self) -> None:
+        """Disarm the watchdog; a cancelled deadline never fires."""
+        self._handle.cancel()
+
+    def add_callback(self, fn: Callback) -> None:
+        self._event.add_callback(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "expired" if self.expired else "armed"
+        return f"<Deadline {self.label!r} {self.delay:.3f}ms {state}>"
+
+
+def with_deadline(
+    sim: Any,
+    gen: Generator[Any, Any, Any],
+    deadline_ms: float,
+    name: str = "op",
+) -> Generator[Any, Any, Any]:
+    """Process wrapper: run ``gen``; fail the *waiter* if it overruns.
+
+    Races ``gen`` (spawned as its own process) against a ``deadline_ms``
+    watchdog. On expiry the caller sees :class:`DeadlineExceededError`,
+    while the inner process keeps running to completion in the background
+    — exactly like a timed-out DMA, which still occupies its bus (and
+    releases its locks) when it eventually finishes. A late success or
+    failure of the orphaned process is deliberately discarded.
+    """
+    if not math.isfinite(deadline_ms) or deadline_ms <= 0:
+        raise ConfigurationError(f"deadline must be finite and > 0, got {deadline_ms}")
+    gate = SimEvent(sim, name=f"{name}.gate")
+    proc = sim.spawn(gen, name=name)
+
+    def on_done(value: Any, exc: Optional[BaseException]) -> None:
+        if gate.fired:
+            return  # the deadline won the race; drop the orphan's outcome
+        if exc is not None:
+            gate.fail(exc)
+        else:
+            gate.fire(value)
+
+    proc.add_callback(on_done)
+
+    def on_deadline() -> None:
+        if not gate.fired:
+            gate.fail(
+                DeadlineExceededError(f"{name!r} exceeded its {deadline_ms:.3f} ms deadline")
+            )
+
+    handle = sim.schedule(deadline_ms, on_deadline)
+    try:
+        value = yield gate
+    finally:
+        handle.cancel()
+    return value

@@ -79,6 +79,17 @@ class TraceLog:
         """Extract one payload field from every record of ``kind``."""
         return [r.fields[field_name] for r in self._records if r.kind == kind]
 
+    def count(self, kind: str) -> int:
+        """Number of records of one kind (cheaper than ``len(of_kind(...))``)."""
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Histogram of record kinds — the summary chaos reports print."""
+        counts: Dict[str, int] = {}
+        for r in self._records:
+            counts[r.kind] = counts.get(r.kind, 0) + 1
+        return counts
+
     def clear(self) -> None:
         """Drop every record (keeps enablement settings)."""
         self._records.clear()

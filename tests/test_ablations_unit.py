@@ -1,8 +1,6 @@
 """Fast unit tests for the ablation experiments (heavy paths live in
 benchmarks/bench_ablations.py)."""
 
-import pytest
-
 from repro.experiments.ablations import sweep_alpha
 
 

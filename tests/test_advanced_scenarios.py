@@ -2,9 +2,6 @@
 
 import random
 
-import pytest
-
-from repro.core.region import AccessUsage
 from repro.emulators import make_vsoc
 from repro.hw import build_machine
 from repro.hw.bus import Bus

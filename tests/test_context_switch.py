@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.emulators import make_gae, make_vsoc
 from repro.hw import build_machine
 from repro.sim import Simulator

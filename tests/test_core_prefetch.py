@@ -185,3 +185,114 @@ def test_zero_shot_new_region_gets_prefetched(engine_setup):
     engine.launch(region2, "codec", HOST_LOCATION)
     assert engine.stats.launched == 1
     assert region2.prefetch_targets == {"gpu"}
+
+
+def _suspend_flow(twin, engine, region, slack=12.0):
+    """Drive three mispredictions so the codec->gpu flow suspends."""
+    for _ in range(3):
+        region.note_write("codec", HOST_LOCATION, UHD_FRAME_BYTES)
+        engine.launch(region, "codec", HOST_LOCATION)
+        engine.on_read(region, "cpu", HOST_LOCATION)  # always wrong
+        twin.on_write(1, "codec", HOST_LOCATION, UHD_FRAME_BYTES)
+        twin.on_read(1, "gpu", "gpu", slack)
+
+
+@pytest.mark.parametrize("cooldown", [1, 3, 5])
+def test_cooldown_skips_exactly_n_writes(engine_setup, cooldown):
+    """Regression: a cooldown of N must skip exactly N writes — no more."""
+    sim, _m, twin, engine, _t = engine_setup
+    engine.suspend_cooldown = cooldown
+    twin.register_region(1)
+    warm_flow(twin, 1, cycles=6)
+    region = SvmRegion(1, UHD_FRAME_BYTES)
+    _suspend_flow(twin, engine, region)
+
+    skips_before = engine.stats.suspended_skips
+    launched_before = engine.stats.launched
+    outcomes = []
+    for _ in range(cooldown + 2):
+        skips = engine.stats.suspended_skips
+        region.note_write("codec", HOST_LOCATION, UHD_FRAME_BYTES)
+        engine.launch(region, "codec", HOST_LOCATION)
+        outcomes.append("skip" if engine.stats.suspended_skips > skips else "launch")
+    assert outcomes == ["skip"] * cooldown + ["launch", "launch"]
+    assert engine.stats.suspended_skips - skips_before == cooldown
+    assert engine.stats.launched - launched_before == 2
+
+
+def test_driver_and_host_agree_on_suspension(engine_setup):
+    """The guest-driver check is read-only: it must not consume cooldown
+    credits, and must return 0 compensation exactly while the host-side
+    launch would skip the same write."""
+    sim, _m, twin, engine, _t = engine_setup
+    engine.suspend_cooldown = 1
+    twin.register_region(1)
+    warm_flow(twin, 1, cycles=6, slack=1.0)  # slack short of the copy time
+    region = SvmRegion(1, UHD_FRAME_BYTES)
+    predicted = twin.predict_readers(1, "codec")
+    twin.note_prefetch_duration(predicted.pedge, 2.4)
+    # Not suspended: the driver owes real compensation.
+    assert engine.predicted_compensation(region, "codec", HOST_LOCATION) > 0.0
+
+    _suspend_flow(twin, engine, region, slack=1.0)
+
+    # Suspended with one credit left. However often the driver asks, the
+    # verdict must not change — the read is side-effect free.
+    for _ in range(5):
+        assert engine.predicted_compensation(region, "codec", HOST_LOCATION) == 0.0
+    # The host-side launch for that same write consumes the single credit.
+    skips = engine.stats.suspended_skips
+    region.note_write("codec", HOST_LOCATION, UHD_FRAME_BYTES)
+    engine.launch(region, "codec", HOST_LOCATION)
+    assert engine.stats.suspended_skips == skips + 1
+    # Cooldown spent: both sides flip back together on the next write.
+    assert engine.predicted_compensation(region, "codec", HOST_LOCATION) > 0.0
+    launched = engine.stats.launched
+    region.note_write("codec", HOST_LOCATION, UHD_FRAME_BYTES)
+    engine.launch(region, "codec", HOST_LOCATION)
+    assert engine.stats.launched == launched + 1
+
+
+def test_bandwidth_rule_under_bus_load_flapping(engine_setup):
+    """§3.3 bandwidth rule driven by an injected flapping PCIe link:
+    prefetch suspends on every high-load half-period and resumes on every
+    low-load half-period."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    sim, machine, twin, engine, _t = engine_setup
+    twin.register_region(1)
+    warm_flow(twin, 1, cycles=6)
+    region = SvmRegion(1, UHD_FRAME_BYTES)
+
+    # Load 0.6 leaves 40% of max observed bandwidth — below the 50% bar.
+    plan = FaultPlan().flap_bus(
+        "pcie", start_ms=10.0, period_ms=20.0, cycles=2, high_load=0.6
+    )
+    FaultInjector(sim, plan).install_buses([machine.pcie])
+
+    outcomes = []
+
+    def writer():
+        from repro.sim import Timeout
+
+        for _ in range(10):  # writes at t = 2, 7, ..., 47 ms
+            yield Timeout(2.0 if not outcomes else 5.0)
+            skips = engine.stats.bandwidth_skips
+            region.note_write("codec", HOST_LOCATION, UHD_FRAME_BYTES)
+            engine.launch(region, "codec", HOST_LOCATION)
+            outcomes.append(
+                "skip" if engine.stats.bandwidth_skips > skips else "launch"
+            )
+
+    sim.spawn(writer(), name="writer")
+    sim.run(until=60.0)
+    # High-load windows are [10, 20) and [30, 40): exactly the writes at
+    # t = 12, 17, 32, 37 get skipped; all others launch.
+    assert outcomes == [
+        "launch", "launch",          # t=2, 7
+        "skip", "skip",              # t=12, 17  (flap high)
+        "launch", "launch",          # t=22, 27  (flap low)
+        "skip", "skip",              # t=32, 37  (flap high)
+        "launch", "launch",          # t=42, 47  (flap low)
+    ]
+    assert engine.stats.bandwidth_skips == 4

@@ -1,9 +1,5 @@
 """Invariants across the emulator configurations (calibration sanity)."""
 
-import random
-
-import pytest
-
 from repro.emulators.base import EmulatorConfig
 from repro.emulators.commercial import bluestacks_config, ldplayer_config
 from repro.emulators.gae import gae_config

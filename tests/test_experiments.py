@@ -1,7 +1,5 @@
 """Tests for the experiment harness (repro.experiments)."""
 
-import pytest
-
 from repro.experiments.appbench import (
     pairwise_comparison,
     run_fig10,
@@ -15,7 +13,7 @@ from repro.experiments.report import fmt, format_cdf_summary, format_table
 from repro.experiments.runner import mean_fps, mean_latency, run_app
 from repro.apps import UhdVideoApp
 from repro.hw.machine import HIGH_END_DESKTOP
-from repro.units import MIB, UHD_FRAME_BYTES
+from repro.units import UHD_FRAME_BYTES
 
 QUICK = dict(duration_ms=5_000.0, apps_per_category=1)
 

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.emulators import make_vsoc, make_gae
 from repro.guest import BufferQueue, VSyncSource
 from repro.guest.services import CameraService, FrameMeta, MediaService, SurfaceFlinger

@@ -126,3 +126,25 @@ def test_dma_counts_transfers():
     sim.run()
     assert dma.transfers_started == 2
     assert bus.bytes_moved == 300
+
+
+def test_constructor_rejects_non_finite_and_non_positive_parameters():
+    sim = Simulator()
+    for bad_bw in (0.0, -1.0, float("nan"), float("inf")):
+        with pytest.raises(HardwareError, match="bandwidth must be finite and positive"):
+            Bus(sim, "b", bandwidth=bad_bw)
+    for bad_lat in (-0.1, float("nan"), float("inf")):
+        with pytest.raises(HardwareError, match="latency must be finite"):
+            Bus(sim, "b", bandwidth=1000.0, latency=bad_lat)
+
+
+def test_set_load_rejects_invalid_values():
+    sim = Simulator()
+    bus = Bus(sim, "pcie", bandwidth=1000.0)
+    for bad in (-0.1, 1.0, 1.5, float("nan"), float("inf")):
+        with pytest.raises(HardwareError, match=r"load must be finite and in \[0, 1\)"):
+            bus.set_load(bad)
+    # The message names the offending bus and value for debuggability.
+    with pytest.raises(HardwareError, match=r"bus 'pcie' load .* got nan"):
+        bus.set_load(float("nan"))
+    assert bus.effective_bandwidth == 1000.0  # state unchanged by rejections

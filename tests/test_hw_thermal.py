@@ -117,3 +117,31 @@ def test_invalid_configs_rejected():
     model = make_model(sim)
     with pytest.raises(ConfigurationError):
         model.note_busy(-1.0)
+
+
+def test_rejects_non_finite_parameters():
+    sim = Simulator()
+    for key in ("heat_per_busy_ms", "cool_per_ms", "throttle_at", "recover_at"):
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ConfigurationError, match="must be finite"):
+                make_model(sim, **{key: bad})
+
+
+def test_note_busy_rejects_non_finite_values():
+    sim = Simulator()
+    model = make_model(sim)
+    with pytest.raises(ConfigurationError, match="busy time must be finite"):
+        model.note_busy(float("nan"))
+    with pytest.raises(ConfigurationError, match="got inf"):
+        model.note_busy(float("inf"))
+
+
+def test_reset_clears_heat_and_throttle():
+    sim = Simulator()
+    model = make_model(sim)
+    model.note_busy(150.0)  # past throttle_at=100
+    assert model.throttled
+    model.reset()
+    assert model.heat == 0.0
+    assert not model.throttled
+    assert model.speed_factor() == 1.0

@@ -11,10 +11,9 @@ import pytest
 
 from repro.apps import CameraApp, PopularApp, UhdVideoApp
 from repro.emulators import make_vsoc
-from repro.errors import SvmError
 from repro.guest.vsync import VSyncSource
 from repro.hw import build_machine
-from repro.sim import Simulator, Timeout
+from repro.sim import Simulator
 from repro.units import MIB, UHD_FRAME_BYTES
 
 

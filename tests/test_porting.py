@@ -11,7 +11,7 @@ from repro.hw.bus import Bus
 from repro.hw.device import DeviceKind, OpCost, PhysicalDevice
 from repro.hw.memory import MemoryPool
 from repro.sim import Simulator, Timeout
-from repro.units import GIB, MIB, UHD_FRAME_BYTES, gb_per_s
+from repro.units import GIB, UHD_FRAME_BYTES, gb_per_s
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ These check structural invariants that must hold for *any* access pattern,
 not just the pipelines the apps produce.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.fence import VirtualFenceTable

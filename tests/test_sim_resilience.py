@@ -1,0 +1,263 @@
+"""Unit tests for the resilience primitives (repro.sim.resilience)."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    TransientCopyError,
+)
+from repro.sim import (
+    Deadline,
+    RetryPolicy,
+    Simulator,
+    Timeout,
+    retrying,
+    with_deadline,
+)
+from repro.sim.tracing import TraceLog
+
+
+def run_to_result(sim, gen, name="test"):
+    proc = sim.spawn(gen, name=name)
+    outcome = {}
+
+    def on_done(value, exc):
+        outcome["value"] = value
+        outcome["exc"] = exc
+
+    proc.add_callback(on_done)
+    sim.run()
+    return outcome
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+def test_retry_policy_backoff_schedule():
+    policy = RetryPolicy(max_attempts=5, base_delay_ms=1.0, multiplier=2.0, max_delay_ms=5.0)
+    assert policy.delay_before_retry(1) == 1.0
+    assert policy.delay_before_retry(2) == 2.0
+    assert policy.delay_before_retry(3) == 4.0
+    assert policy.delay_before_retry(4) == 5.0  # capped
+
+
+def test_retry_policy_exhaustion():
+    policy = RetryPolicy(max_attempts=3)
+    assert not policy.exhausted(2)
+    assert policy.exhausted(3)
+    unbounded = RetryPolicy(max_attempts=None)
+    assert not unbounded.exhausted(10_000)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_attempts=0),
+        dict(base_delay_ms=-1.0),
+        dict(base_delay_ms=float("nan")),
+        dict(multiplier=0.5),
+        dict(max_delay_ms=float("inf")),
+    ],
+)
+def test_retry_policy_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(**kwargs)
+
+
+# -- retrying() --------------------------------------------------------------
+
+def _flaky(sim, failures_before_success, cost=1.0):
+    """Generator factory that fails N times, then returns sim.now."""
+    state = {"left": failures_before_success}
+
+    def factory():
+        yield Timeout(cost)
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise TransientCopyError("injected")
+        return sim.now
+
+    return factory
+
+
+def test_retrying_transparent_on_success():
+    sim = Simulator()
+    policy = RetryPolicy(max_attempts=3, base_delay_ms=1.0)
+    outcome = run_to_result(
+        sim, retrying(sim, _flaky(sim, 0), policy, (TransientCopyError,))
+    )
+    assert outcome["exc"] is None
+    assert outcome["value"] == pytest.approx(1.0)  # just the op cost
+
+
+def test_retrying_retries_with_backoff():
+    sim = Simulator()
+    policy = RetryPolicy(max_attempts=5, base_delay_ms=1.0, multiplier=2.0, max_delay_ms=10.0)
+    outcome = run_to_result(
+        sim, retrying(sim, _flaky(sim, 2), policy, (TransientCopyError,))
+    )
+    # 1 (fail) + 1 backoff + 1 (fail) + 2 backoff + 1 (success) = 6 ms
+    assert outcome["exc"] is None
+    assert outcome["value"] == pytest.approx(6.0)
+
+
+def test_retrying_exhausts_and_reraises():
+    sim = Simulator()
+    policy = RetryPolicy(max_attempts=2, base_delay_ms=1.0)
+    outcome = run_to_result(
+        sim, retrying(sim, _flaky(sim, 5), policy, (TransientCopyError,))
+    )
+    assert isinstance(outcome["exc"], TransientCopyError)
+
+
+def test_retrying_propagates_unlisted_exceptions():
+    sim = Simulator()
+
+    def factory():
+        yield Timeout(1.0)
+        raise ValueError("not retryable")
+
+    outcome = run_to_result(
+        sim, retrying(sim, factory, RetryPolicy(), (TransientCopyError,))
+    )
+    assert isinstance(outcome["exc"], ValueError)
+
+
+def test_retrying_traces_and_counts_retries():
+    sim = Simulator()
+    trace = TraceLog()
+    seen = []
+    policy = RetryPolicy(max_attempts=4, base_delay_ms=0.5)
+    outcome = run_to_result(
+        sim,
+        retrying(
+            sim, _flaky(sim, 2), policy, (TransientCopyError,),
+            name="copy:test", trace=trace,
+            on_retry=lambda n, exc: seen.append((n, type(exc).__name__)),
+        ),
+    )
+    assert outcome["exc"] is None
+    records = trace.of_kind("retry.backoff")
+    assert [r["attempt"] for r in records] == [1, 2]
+    assert all(r["op"] == "copy:test" for r in records)
+    assert seen == [(1, "TransientCopyError"), (2, "TransientCopyError")]
+
+
+def test_retrying_unbounded_policy_keeps_going():
+    sim = Simulator()
+    policy = RetryPolicy(max_attempts=None, base_delay_ms=0.1, max_delay_ms=0.5)
+    outcome = run_to_result(
+        sim, retrying(sim, _flaky(sim, 25), policy, (TransientCopyError,))
+    )
+    assert outcome["exc"] is None
+
+
+# -- Deadline ----------------------------------------------------------------
+
+def test_deadline_fails_waiter_at_expiry():
+    sim = Simulator()
+
+    def waiter():
+        yield Deadline(sim, 5.0, label="op")
+
+    outcome = run_to_result(sim, waiter())
+    assert isinstance(outcome["exc"], DeadlineExceededError)
+    assert "5.000 ms" in str(outcome["exc"])
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_deadline_cancel_disarms():
+    sim = Simulator()
+    deadline = Deadline(sim, 5.0)
+    deadline.cancel()
+    sim.run()
+    assert not deadline.expired
+
+
+def test_deadline_rejects_bad_delay():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        Deadline(sim, 0.0)
+    with pytest.raises(ConfigurationError):
+        Deadline(sim, float("nan"))
+
+
+# -- with_deadline -----------------------------------------------------------
+
+def test_with_deadline_passes_through_fast_ops():
+    sim = Simulator()
+
+    def op():
+        yield Timeout(2.0)
+        return "done"
+
+    def runner():
+        value = yield from with_deadline(sim, op(), 10.0, name="fast")
+        return value
+
+    outcome = run_to_result(sim, runner())
+    assert outcome["value"] == "done"
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_with_deadline_fails_slow_ops_at_the_deadline():
+    sim = Simulator()
+
+    def op():
+        yield Timeout(50.0)
+        return "late"
+
+    def runner():
+        return (yield from with_deadline(sim, op(), 10.0, name="slow"))
+
+    outcome = run_to_result(sim, runner())
+    assert isinstance(outcome["exc"], DeadlineExceededError)
+    # The caller was released at the deadline, not at op completion...
+    assert "10.000 ms" in str(outcome["exc"])
+
+
+def test_with_deadline_orphan_keeps_running():
+    """A timed-out op still completes in the background (like a real DMA)."""
+    sim = Simulator()
+    finished = []
+
+    def op():
+        yield Timeout(50.0)
+        finished.append(sim.now)
+        return "late"
+
+    def runner():
+        try:
+            yield from with_deadline(sim, op(), 10.0)
+        except DeadlineExceededError:
+            pass
+        return "recovered"
+
+    outcome = run_to_result(sim, runner())
+    assert outcome["value"] == "recovered"
+    assert finished == [pytest.approx(50.0)]  # orphan drained to completion
+
+
+def test_with_deadline_propagates_inner_failure():
+    sim = Simulator()
+
+    def op():
+        yield Timeout(1.0)
+        raise TransientCopyError("inner")
+
+    def runner():
+        return (yield from with_deadline(sim, op(), 10.0))
+
+    outcome = run_to_result(sim, runner())
+    assert isinstance(outcome["exc"], TransientCopyError)
+
+
+def test_with_deadline_rejects_bad_deadline():
+    sim = Simulator()
+
+    def op():
+        yield Timeout(1.0)
+
+    gen = with_deadline(sim, op(), -1.0)
+    with pytest.raises(ConfigurationError):
+        next(gen)
