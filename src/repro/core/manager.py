@@ -27,6 +27,7 @@ from repro.core.region import AccessUsage, SvmRegion
 from repro.core.twin import TwinHypergraphs
 from repro.errors import SvmError, UnknownRegionError
 from repro.hw.memory import MemoryPool
+from repro.obs import DISABLED, Observability
 from repro.sim import Simulator, Timeout
 from repro.sim.tracing import TraceLog
 from repro.units import VSYNC_PERIOD_MS
@@ -51,7 +52,9 @@ class SvmManager:
         chain_reaction_threshold: Optional[float] = 2.0,
         chain_reaction_vdevs: Optional[set] = None,
         degradation: Optional[DegradationController] = None,
+        obs: Optional[Observability] = None,
     ):
+        self._obs = obs if obs is not None else DISABLED
         self._sim = sim
         self.twin = twin
         self.protocol = protocol
@@ -130,6 +133,10 @@ class SvmManager:
         # Slack is defined from write retirement to access *arrival*, so
         # sample it before the mapping work consumes time.
         slack = self._slack_for(region) if usage.reads else None
+        access_span = self._obs.tracer.begin(
+            "svm.begin_access", vdev, cat="svm", flow=region.flow,
+            region=region_id, usage=usage.value, bytes=window,
+        )
 
         mapping_cost = self.page_map_cost + self.extra_access_overhead
         if mapping_cost > 0:
@@ -138,7 +145,7 @@ class SvmManager:
 
         if usage.reads:
             if self.engine is not None:
-                self.engine.on_read(region, vdev, location)
+                self.engine.on_read(region, vdev, location, slack=slack)
             self.twin.on_read(region_id, vdev, location, slack)
             if slack is not None:
                 self._trace.record(
@@ -167,6 +174,8 @@ class SvmManager:
             region.write_in_flight = True
 
         latency = self._sim.now - start
+        self._obs.tracer.end(access_span, latency=latency)
+        self._obs.registry.histogram("svm.access_latency_ms", vdev=vdev).observe(latency)
         extra = {}
         if self.degradation is not None and self.degradation.degraded:
             # Tag accesses made under degraded coherence so metrics can
@@ -236,6 +245,10 @@ class SvmManager:
         self.twin.on_write(region_id, vdev, location, nbytes)
         self._trace.record(
             self._sim.now, "svm.write_retired", region=region_id, vdev=vdev, bytes=nbytes
+        )
+        self._obs.tracer.instant(
+            "svm.write_retired", vdev, cat="svm", flow=region.flow,
+            region=region_id, bytes=nbytes,
         )
         yield from self.protocol.executor_after_write(region, vdev, location)
 

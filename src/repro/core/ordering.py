@@ -42,7 +42,8 @@ class ExecCommand(Command):
     """
 
     __slots__ = (
-        "op", "nbytes", "reads", "writes", "scale", "dirty_bytes", "done", "dispatched_at",
+        "op", "nbytes", "reads", "writes", "scale", "dirty_bytes", "done",
+        "dispatched_at", "flow",
     )
 
     def __init__(
@@ -55,6 +56,7 @@ class ExecCommand(Command):
         scale: float = 1.0,
         dirty_bytes: int = 0,
         dispatched_at: float = 0.0,
+        flow: int = 0,
     ):
         self.op = op
         self.nbytes = nbytes
@@ -64,6 +66,7 @@ class ExecCommand(Command):
         self.dirty_bytes = dirty_bytes  # 0: the whole region is dirty
         self.done = SimEvent(sim, name=f"cmd:{op}")
         self.dispatched_at = dispatched_at
+        self.flow = flow  # causal-trace flow id (0 = none)
 
     def dirty_window(self, region: SvmRegion) -> int:
         """Bytes of ``region`` this op actually dirtied (clamped to size)."""
@@ -82,16 +85,18 @@ class ExecCommand(Command):
 class SignalFenceCommand(Command):
     """Fire the fence once every preceding command in the queue retired."""
 
-    __slots__ = ("fence",)
+    __slots__ = ("fence", "flow")
 
-    def __init__(self, fence: VirtualFence):
+    def __init__(self, fence: VirtualFence, flow: int = 0):
         self.fence = fence
+        self.flow = flow
 
 
 class WaitFenceCommand(Command):
     """Stall the executor until the paired signal fence has fired."""
 
-    __slots__ = ("fence",)
+    __slots__ = ("fence", "flow")
 
-    def __init__(self, fence: VirtualFence):
+    def __init__(self, fence: VirtualFence, flow: int = 0):
         self.fence = fence
+        self.flow = flow

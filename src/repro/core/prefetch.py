@@ -27,6 +27,7 @@ from repro.core.coherence import RECOVERABLE_COPY_ERRORS, CopyPlanner
 from repro.core.degradation import LEVEL_PREFETCHED, DegradationController
 from repro.core.region import SvmRegion
 from repro.core.twin import TwinHypergraphs
+from repro.obs import DISABLED, Observability
 from repro.sim import Simulator
 from repro.sim.tracing import TraceLog
 from repro.units import VSYNC_PERIOD_MS
@@ -97,7 +98,9 @@ class PrefetchEngine:
         default_slack: float = VSYNC_PERIOD_MS,
         zero_shot: bool = True,
         degradation: Optional[DegradationController] = None,
+        obs: Optional[Observability] = None,
     ):
+        self._obs = obs if obs is not None else DISABLED
         self._sim = sim
         self._twin = twin
         self._planner = planner
@@ -114,6 +117,8 @@ class PrefetchEngine:
         self.stats = PrefetchStats()
         self._failures: Dict[object, int] = {}
         self._suspended: Dict[object, int] = {}
+        self._suspended_since: Dict[object, float] = {}
+        self.suspension_time_ms = 0.0
         self._max_bandwidth: Dict[str, float] = {}
 
     # -- write-side: prediction and launch -------------------------------------
@@ -137,6 +142,13 @@ class PrefetchEngine:
         vkey = predicted.vedge.key if predicted.vedge is not None else None
         region.prefetch_predicted_vdevs = set(predicted.reader_vdevs)
         region.prefetch_vkey = vkey
+        # Remember what we predicted for this generation so the read side
+        # can score the slack estimate against the observed interval.
+        region.prefetch_predicted_slack = (
+            self._twin.predict_slack(predicted.vedge)
+            if predicted.vedge is not None
+            else None
+        )
 
         if self._is_suspended(vkey):
             self.stats.suspended_skips += 1
@@ -166,6 +178,7 @@ class PrefetchEngine:
             )
         region.prefetch_targets = targets
         self.stats.launched += 1
+        self._obs.registry.counter("prefetch.launched").inc()
         self._trace.record(
             self._sim.now,
             "prefetch.start",
@@ -188,11 +201,16 @@ class PrefetchEngine:
         )
 
     def _prefetch_copy(self, region: SvmRegion, src: str, dst: str, pedge):
+        span = self._obs.tracer.begin(
+            "prefetch.copy", "prefetch", cat="coherence", flow=region.flow,
+            region=region.region_id, src=src, dst=dst, bytes=region.dirty_bytes,
+        )
         try:
             duration = yield from self._planner.copy_unified_resilient(
                 src, dst, region.dirty_bytes
             )
         except RECOVERABLE_COPY_ERRORS as err:
+            self._obs.tracer.end(span, failed=type(err).__name__)
             # A dead prefetch must not poison its joiners: readers re-check
             # validity after the join and fall back to sync maintenance.
             self.stats.prefetch_failures += 1
@@ -209,6 +227,7 @@ class PrefetchEngine:
                 error=type(err).__name__,
             )
             return None
+        self._obs.tracer.end(span, duration=duration)
         region.note_copy(dst)
         if self.degradation is not None:
             self.degradation.note_success(LEVEL_PREFETCHED)
@@ -294,8 +313,20 @@ class PrefetchEngine:
         )
 
     # -- read-side: accuracy accounting and suspension -----------------------------
-    def on_read(self, region: SvmRegion, reader_vdev: str, reader_loc: str) -> None:
-        """Score the generation's prediction on its first read."""
+    def on_read(
+        self,
+        region: SvmRegion,
+        reader_vdev: str,
+        reader_loc: str,
+        slack: Optional[float] = None,
+    ) -> None:
+        """Score the generation's prediction on its first read.
+
+        ``slack`` is the *observed* natural slack (write retirement → this
+        read's arrival) the manager measured; scored against the slack the
+        engine predicted at launch time, it feeds the live slack-estimate
+        error instrument of §5.2.
+        """
         predicted = region.prefetch_predicted_vdevs
         if predicted is None:
             return
@@ -315,10 +346,22 @@ class PrefetchEngine:
                 self._failures[vkey] = failures
                 if failures >= self.failure_threshold:
                     self._suspended[vkey] = self.suspend_cooldown
+                    self._suspended_since[vkey] = self._sim.now
                     self._failures[vkey] = 0
                     self._trace.record(
                         self._sim.now, "prefetch.suspend", flow=str(vkey)
                     )
+                    self._obs.tracer.instant(
+                        "prefetch.suspend", "prefetch", cat="coherence", vkey=str(vkey),
+                    )
+        registry = self._obs.registry
+        registry.gauge("prefetch.mispredict_rate").set(
+            self.stats.misses / self.stats.predictions, time=self._sim.now
+        )
+        if slack is not None and region.prefetch_predicted_slack is not None:
+            registry.histogram("prefetch.slack_error_ms").observe(
+                abs(region.prefetch_predicted_slack - slack)
+            )
 
     def _is_suspended(self, vkey, consume: bool = True) -> bool:
         """Whether this flow's prefetching is in cooldown.
@@ -336,7 +379,17 @@ class PrefetchEngine:
             return False
         if remaining <= 0:
             del self._suspended[vkey]
+            self._note_suspension_end(vkey)
             return False
         if consume:
             self._suspended[vkey] = remaining - 1
         return True
+
+    def _note_suspension_end(self, vkey) -> None:
+        """Fold a finished cooldown into the suspension-time instrument."""
+        since = self._suspended_since.pop(vkey, None)
+        if since is None:
+            return
+        elapsed = self._sim.now - since
+        self.suspension_time_ms += elapsed
+        self._obs.registry.counter("prefetch.suspension_time_ms").inc(elapsed)

@@ -122,7 +122,12 @@ class SvmRegion:
         self.prefetch_targets: Set[str] = set()
         self.prefetch_predicted_vdevs: Optional[Set[str]] = None
         self.prefetch_vkey = None
+        self.prefetch_predicted_slack: Optional[float] = None
         self.pending_compensation = 0.0
+        # Causal-trace flow id of the frame currently moving through this
+        # region (0 = none). Stamped by the emulator at stage dispatch so
+        # coherence/prefetch spans inherit the frame's flow.
+        self.flow = 0
         self.applied_compensation = 0.0
         self.last_flush_duration = 0.0
 
@@ -179,6 +184,7 @@ class SvmRegion:
         self.prefetch_targets = set()
         self.prefetch_predicted_vdevs = None
         self.prefetch_vkey = None
+        self.prefetch_predicted_slack = None
         self.pending_compensation = 0.0
 
     def note_copy(self, dst_location: str) -> None:

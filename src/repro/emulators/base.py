@@ -55,6 +55,8 @@ from repro.errors import CapabilityError, ConfigurationError
 from repro.hw.bus import Bus
 from repro.hw.machine import HostMachine
 from repro.hw.device import DeviceKind, PhysicalDevice
+from repro.obs import DISABLED, Observability
+from repro.obs.span import NO_FLOW
 from repro.sim import FifoQueue, SimEvent, Simulator, Timeout
 from repro.sim.tracing import TraceLog
 from repro.units import gb_per_s
@@ -157,12 +159,14 @@ class Emulator:
         config: EmulatorConfig,
         trace: Optional[TraceLog] = None,
         rng: Optional[random.Random] = None,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim
         self.machine = machine
         self.config = config
         self.trace = trace if trace is not None else TraceLog()
         self.rng = rng if rng is not None else random.Random(0)
+        self.obs = obs if obs is not None else DISABLED
 
         # The boundary bus is per-emulator: its effective bandwidth differs
         # between implementations (Table 2 coherence-cost spread).
@@ -196,11 +200,14 @@ class Emulator:
             extra_access_overhead=config.extra_access_overhead_ms,
             engine=self.engine,
             degradation=self.degradation,
+            obs=self.obs,
         )
 
         from repro.guest.transport import VirtioTransport  # local: avoids cycle
 
-        self.transport = VirtioTransport(sim, kick_cost=config.dispatch_cost_ms)
+        self.transport = VirtioTransport(
+            sim, kick_cost=config.dispatch_cost_ms, obs=self.obs
+        )
         self.fence_table = VirtualFenceTable(sim)
         self._vdevs: Dict[str, _VirtualDevice] = {}
         self._vdev_location_overrides: Dict[str, str] = {}
@@ -223,6 +230,15 @@ class Emulator:
         if config.stall_period_ms > 0:
             sim.spawn(self._stall_injector(), name=f"{config.name}:stalls")
 
+        if self.obs.enabled:
+            registry = self.obs.registry
+            self._boundary.attach_metrics(registry)
+            machine.memctl.attach_metrics(registry)
+            machine.pcie.attach_metrics(registry)
+            self.obs.map_devices(
+                {name: vdev.physical.name for name, vdev in self._vdevs.items()}
+            )
+
     # -- construction helpers -----------------------------------------------
     def _build_protocol(self) -> CoherenceProtocol:
         if not self.config.unified_svm:
@@ -230,22 +246,24 @@ class Emulator:
                 raise ConfigurationError(
                     "prefetch/broadcast require the unified SVM framework"
                 )
-            return GuestMemoryWriteInvalidate(self.sim, self.planner, self.trace)
+            return GuestMemoryWriteInvalidate(
+                self.sim, self.planner, self.trace, obs=self.obs
+            )
         if self.config.broadcast_coherence:
             from repro.core.coherence import UnifiedBroadcast
 
-            return UnifiedBroadcast(self.sim, self.planner, self.trace)
+            return UnifiedBroadcast(self.sim, self.planner, self.trace, obs=self.obs)
         if self.config.prefetch_enabled:
             self.degradation = DegradationController(self.sim, trace=self.trace)
             self.engine = PrefetchEngine(
                 self.sim, self.twin, self.planner, self.vdev_location, self.trace,
-                degradation=self.degradation,
+                degradation=self.degradation, obs=self.obs,
             )
             return UnifiedPrefetchProtocol(
                 self.sim, self.planner, self.engine, self.trace,
-                degradation=self.degradation,
+                degradation=self.degradation, obs=self.obs,
             )
-        return UnifiedWriteInvalidate(self.sim, self.planner, self.trace)
+        return UnifiedWriteInvalidate(self.sim, self.planner, self.trace, obs=self.obs)
 
     def _resolve_physical(self, vdev: str) -> Optional[PhysicalDevice]:
         """The dynamic virtual→physical mapping of §3.2."""
@@ -333,6 +351,19 @@ class Emulator:
             return False
         return self.config.hw_encode or self.physical_for("codec").supports("sw_encode")
 
+    def track_groups(self) -> Dict[str, str]:
+        """Trace-track → physical-device grouping for the Perfetto exporter.
+
+        Guest-side virtual-device tracks and their host executors group
+        under the physical device that serves them ("pid" in the Chrome
+        trace); transport/coherence/prefetch machinery stays on the host.
+        """
+        groups: Dict[str, str] = {}
+        for name, vdev in self._vdevs.items():
+            groups[name] = vdev.physical.name
+            groups[f"{name}/exec"] = vdev.physical.name
+        return groups
+
     # -- SVM lifecycle (guest-facing) -----------------------------------------
     def svm_alloc(self, size: int) -> int:
         """Allocate a shared-memory region; returns its 64-bit handle."""
@@ -351,6 +382,7 @@ class Emulator:
         reads: Sequence[int] = (),
         writes: Sequence[int] = (),
         dirty_bytes: Optional[int] = None,
+        flow: int = NO_FLOW,
     ) -> Generator[Any, Any, StageResult]:
         """Process: run one pipeline stage on a virtual device.
 
@@ -358,6 +390,10 @@ class Emulator:
         protocol), dispatches the device op with ordering semantics, applies
         prefetch compensation, and closes the brackets. Returns a
         :class:`StageResult`; ``yield result.done`` to join host retirement.
+
+        ``flow`` is the causal-trace flow id of the frame this stage
+        advances; it is stamped onto the touched regions so downstream
+        coherence/prefetch spans join the frame's flow.
         """
         device = self._vdev(vdev)
         location = self.vdev_location(vdev)
@@ -365,6 +401,13 @@ class Emulator:
 
         read_regions = [self.manager.get(r) for r in reads]
         write_regions = [self.manager.get(r) for r in writes]
+        if flow != NO_FLOW:
+            for region in (*read_regions, *write_regions):
+                region.flow = flow
+        stage_span = self.obs.tracer.begin(
+            f"stage:{op}", vdev, cat="stage", flow=flow,
+            op=op, reads=len(read_regions), writes=len(write_regions),
+        )
 
         access_latency = 0.0
         for region in read_regions:
@@ -400,7 +443,7 @@ class Emulator:
         if self.config.ordering is OrderingMode.FENCES:
             for region in read_regions:
                 if region.write_fence is not None and not region.write_fence.signaled:
-                    commands.append(WaitFenceCommand(region.write_fence))
+                    commands.append(WaitFenceCommand(region.write_fence, flow=flow))
         cmd = ExecCommand(
             self.sim,
             op,
@@ -410,6 +453,7 @@ class Emulator:
             scale=self._op_scale(op),
             dirty_bytes=dirty_bytes or 0,
             dispatched_at=self.sim.now,
+            flow=flow,
         )
         commands.append(cmd)
         if self.config.ordering is OrderingMode.FENCES and write_regions:
@@ -417,9 +461,9 @@ class Emulator:
             for region in write_regions:
                 region.write_fence = fence
                 region.pending_writer_location = location
-            commands.append(SignalFenceCommand(fence))
+            commands.append(SignalFenceCommand(fence, flow=flow))
 
-        yield from self.transport.kick_reliable(len(commands))
+        yield from self.transport.kick_reliable(len(commands), flow=flow)
         for command in commands:
             yield device.queue.put(command)
 
@@ -457,6 +501,11 @@ class Emulator:
             if region.open_accessors and vdev in region.open_accessors:
                 self.manager.end_access(vdev, region.region_id)
 
+        self.obs.tracer.end(
+            stage_span,
+            access_latency=access_latency,
+            compensation=compensation,
+        )
         return StageResult(
             access_latency=access_latency,
             dispatch_latency=self.sim.now - dispatch_start,
@@ -486,14 +535,27 @@ class Emulator:
     def _executor(self, vdev: _VirtualDevice):
         """Host-side thread of one virtual device: drain its command queue."""
         manager = self.manager
+        tracer = self.obs.tracer
         location = self.vdev_location(vdev.name)
+        exec_track = f"{vdev.name}/exec"
         while True:
             command = yield vdev.queue.get()
             if isinstance(command, WaitFenceCommand):
+                span = tracer.begin(
+                    "fence.wait", exec_track, cat="fence", flow=command.flow
+                )
                 yield command.fence.wait()
+                tracer.end(span)
             elif isinstance(command, SignalFenceCommand):
                 command.fence.signal()
+                tracer.instant(
+                    "fence.signal", exec_track, cat="fence", flow=command.flow
+                )
             elif isinstance(command, ExecCommand):
+                span = tracer.begin(
+                    f"exec:{command.op}", exec_track, cat="exec",
+                    flow=command.flow, op=command.op, bytes=command.nbytes,
+                )
                 for region in command.reads:
                     yield from manager.host_before_read(
                         region.region_id, vdev.name, location
@@ -508,6 +570,7 @@ class Emulator:
                     )
                 command.done.fire(self.sim.now)
                 vdev.flow.complete()
+                tracer.end(span, queue_delay=self.sim.now - command.dispatched_at)
                 self.trace.record(
                     self.sim.now,
                     "host.op_retired",

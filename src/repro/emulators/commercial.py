@@ -75,9 +75,10 @@ def make_ldplayer(
     machine: HostMachine,
     trace: Optional[TraceLog] = None,
     rng: Optional[random.Random] = None,
+    obs=None,
 ) -> Emulator:
     """Build an LDPlayer model instance."""
-    return Emulator(sim, machine, ldplayer_config(), trace=trace, rng=rng)
+    return Emulator(sim, machine, ldplayer_config(), trace=trace, rng=rng, obs=obs)
 
 
 def make_bluestacks(
@@ -85,6 +86,7 @@ def make_bluestacks(
     machine: HostMachine,
     trace: Optional[TraceLog] = None,
     rng: Optional[random.Random] = None,
+    obs=None,
 ) -> Emulator:
     """Build a Bluestacks model instance."""
-    return Emulator(sim, machine, bluestacks_config(), trace=trace, rng=rng)
+    return Emulator(sim, machine, bluestacks_config(), trace=trace, rng=rng, obs=obs)

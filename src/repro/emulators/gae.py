@@ -52,6 +52,7 @@ def make_gae(
     machine: HostMachine,
     trace: Optional[TraceLog] = None,
     rng: Optional[random.Random] = None,
+    obs=None,
 ) -> Emulator:
     """Build a Google Android Emulator model instance."""
-    return Emulator(sim, machine, gae_config(), trace=trace, rng=rng)
+    return Emulator(sim, machine, gae_config(), trace=trace, rng=rng, obs=obs)

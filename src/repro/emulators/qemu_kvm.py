@@ -50,6 +50,7 @@ def make_qemu_kvm(
     machine: HostMachine,
     trace: Optional[TraceLog] = None,
     rng: Optional[random.Random] = None,
+    obs=None,
 ) -> Emulator:
     """Build a QEMU-KVM model instance."""
-    return Emulator(sim, machine, qemu_kvm_config(), trace=trace, rng=rng)
+    return Emulator(sim, machine, qemu_kvm_config(), trace=trace, rng=rng, obs=obs)

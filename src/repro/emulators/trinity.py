@@ -55,6 +55,7 @@ def make_trinity(
     machine: HostMachine,
     trace: Optional[TraceLog] = None,
     rng: Optional[random.Random] = None,
+    obs=None,
 ) -> Emulator:
     """Build a Trinity model instance."""
-    return Emulator(sim, machine, trinity_config(), trace=trace, rng=rng)
+    return Emulator(sim, machine, trinity_config(), trace=trace, rng=rng, obs=obs)

@@ -55,6 +55,7 @@ def make_vsoc(
     prefetch: bool = True,
     fences: bool = True,
     broadcast: bool = False,
+    obs=None,
 ) -> Emulator:
     """Build a vSoC instance; ablation flags mirror §5.4.
 
@@ -75,4 +76,4 @@ def make_vsoc(
         if not fences:
             suffix.append("no-fence")
         config.name = "vSoC(" + ",".join(suffix) + ")"
-    return Emulator(sim, machine, config, trace=trace, rng=rng)
+    return Emulator(sim, machine, config, trace=trace, rng=rng, obs=obs)

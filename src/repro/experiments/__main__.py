@@ -5,10 +5,14 @@ Usage::
     python -m repro.experiments table2
     python -m repro.experiments fig10 [--quick]
     python -m repro.experiments all --quick
+    python -m repro.experiments observe --app ar --export trace.json \
+        --metrics metrics.json
 
 Each command prints the regenerated rows/series next to the paper's
 reference values. ``--quick`` shortens simulated durations and app counts
-(same shapes, coarser numbers).
+(same shapes, coarser numbers). ``observe`` runs one app with the
+observability stack enabled and exports a Perfetto-compatible trace plus
+a metrics/self-profile JSON (it is excluded from ``all``).
 """
 
 from __future__ import annotations
@@ -367,10 +371,41 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the vSoC paper's tables and figures.",
     )
-    parser.add_argument("experiment", choices=[*COMMANDS, "all"])
+    parser.add_argument("experiment", choices=[*COMMANDS, "all", "observe"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
+    observe_group = parser.add_argument_group("observe options")
+    observe_group.add_argument("--app", default="ar",
+                               help="workload to observe (ar/video/camera/livestream)")
+    observe_group.add_argument("--emulator", default="vSoC",
+                               help="emulator to observe (default vSoC)")
+    observe_group.add_argument("--export", metavar="PATH", default=None,
+                               help="write a Chrome/Perfetto trace JSON here")
+    observe_group.add_argument("--metrics", metavar="PATH", default=None,
+                               help="write the metrics/self-profile JSON here")
+    observe_group.add_argument("--duration", type=float, default=None,
+                               help="simulated ms to observe (default 8000)")
+    observe_group.add_argument("--seed", type=int, default=0,
+                               help="run seed (default 0)")
+    observe_group.add_argument("--include-tracelog", action="store_true",
+                               help="also digest legacy TraceLog records into "
+                                    "the exported trace")
     args = parser.parse_args(argv)
+    if args.experiment == "observe":
+        from repro.experiments.observe import DEFAULT_DURATION_MS, cmd_observe
+
+        duration = args.duration
+        if duration is None:
+            duration = 4_000.0 if args.quick else DEFAULT_DURATION_MS
+        return cmd_observe(
+            app=args.app,
+            emulator=args.emulator,
+            duration_ms=duration,
+            export_path=args.export,
+            metrics_path=args.metrics,
+            seed=args.seed,
+            include_tracelog=args.include_tracelog,
+        )
     if args.experiment == "all":
         for name, command in COMMANDS.items():
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

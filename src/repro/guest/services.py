@@ -31,6 +31,7 @@ class FrameMeta:
     birth: float  # capture / arrival time (motion-to-photon anchor)
     sequence: int
     deadline: Optional[float] = None  # MediaCodec-style discard deadline
+    flow: int = 0  # causal-trace flow id (0 = untraced)
 
 
 class _Submission:
@@ -138,13 +139,19 @@ class SurfaceFlinger:
             reads=[submission.buffer.region_id],
             writes=[framebuffer],
             dirty_bytes=dirty,
+            flow=submission.meta.flow,
         )
         present = yield from self._emulator.stage(
-            "display", "compose", dirty, reads=[framebuffer]
+            "display", "compose", dirty, reads=[framebuffer],
+            flow=submission.meta.flow,
         )
         meta = submission.meta
         done_at = yield present.done
         self.frames_rendered += 1
+        self._emulator.obs.tracer.instant(
+            "frame.presented", "display", cat="frame", flow=meta.flow,
+            sequence=meta.sequence, latency=done_at - meta.birth,
+        )
         self._fps.note_presented(done_at)
         if self._latency is not None:
             self._latency.note(done_at - meta.birth)
@@ -204,7 +211,11 @@ class MediaService:
         while not self._stopped:
             jitter = 1.0 + self._rng.uniform(-self.pacing_jitter, self.pacing_jitter)
             yield Timeout(self.frame_interval * jitter)
-            meta = FrameMeta(birth=self._sim.now - self.source_latency, sequence=self._sequence)
+            meta = FrameMeta(
+                birth=self._sim.now - self.source_latency,
+                sequence=self._sequence,
+                flow=self._emulator.obs.tracer.new_flow(),
+            )
             self._sequence += 1
             if not self._jitter.try_put(meta):
                 self._fps.note_dropped("source-overrun")
@@ -226,6 +237,7 @@ class MediaService:
                 emulator.decode_op(),
                 self.frame_bytes,
                 writes=[buffer.region_id],
+                flow=meta.flow,
             )
             yield self._decoded.put((buffer, meta, result.done))
 
@@ -301,7 +313,11 @@ class CameraService:
             if raw is None:
                 self._fps.note_dropped("camera-overrun")
                 continue
-            meta = FrameMeta(birth=self._sim.now, sequence=self._sequence)
+            meta = FrameMeta(
+                birth=self._sim.now,
+                sequence=self._sequence,
+                flow=self._emulator.obs.tracer.new_flow(),
+            )
             self._sequence += 1
             # The frame's bytes land in host memory capture_latency later.
             self._pending.put((raw, meta, self._sim.now + camera.capture_latency))
@@ -314,7 +330,8 @@ class CameraService:
             if ready_at > self._sim.now:
                 yield Timeout(ready_at - self._sim.now)
             yield from emulator.stage(
-                "camera", "deliver", self.frame_bytes, writes=[raw.region_id]
+                "camera", "deliver", self.frame_bytes, writes=[raw.region_id],
+                flow=meta.flow,
             )
             out = yield self._out.dequeue_free()
             convert = yield from emulator.stage(
@@ -323,11 +340,13 @@ class CameraService:
                 self.frame_bytes,
                 reads=[raw.region_id],
                 writes=[out.region_id],
+                flow=meta.flow,
             )
             yield convert.done  # ISP completion callback
             self._raw.release(raw)
             if self.extra_cpu_op is not None:
                 yield from emulator.stage(
-                    "cpu", self.extra_cpu_op, self.extra_cpu_bytes, reads=[out.region_id]
+                    "cpu", self.extra_cpu_op, self.extra_cpu_bytes,
+                    reads=[out.region_id], flow=meta.flow,
                 )
             self._flinger.submit(out, self._out, meta)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional, Tuple
 
 from repro.errors import ConfigurationError, TransportDropError
+from repro.obs.span import NO_FLOW
 from repro.sim import RetryPolicy, Simulator, Timeout, retrying
 
 #: Optional fault hook: called once per kick with ``(transport, batch_size)``.
@@ -38,9 +39,15 @@ class VirtioTransport:
         sim: Simulator,
         kick_cost: float = 0.02,
         per_command_cost: float = 0.005,
+        obs=None,
     ):
         if kick_cost < 0 or per_command_cost < 0:
             raise ConfigurationError("transport costs must be >= 0")
+        if obs is None:
+            from repro.obs import DISABLED  # local: keeps import cost off hot path
+
+            obs = DISABLED
+        self._obs = obs
         self._sim = sim
         self.kick_cost = kick_cost
         self.per_command_cost = per_command_cost
@@ -58,7 +65,7 @@ class VirtioTransport:
             raise ConfigurationError("batch size must be positive")
         return self.kick_cost + batch_size * self.per_command_cost
 
-    def kick(self, batch_size: int = 1) -> Generator[Any, Any, float]:
+    def kick(self, batch_size: int = 1, flow: int = NO_FLOW) -> Generator[Any, Any, float]:
         """Process: pay the dispatch cost for a batch; returns the delay.
 
         With a fault hook installed, a kick may be delayed (dispatch takes
@@ -66,7 +73,11 @@ class VirtioTransport:
         is raised, because a lost doorbell burns the VM exit regardless.
         ``kicks``/``commands`` count only *successful* kicks so
         :attr:`amortized_cost` keeps its meaning under fault injection.
+        ``flow`` stamps the kick's trace span with the frame it carries.
         """
+        tracer = self._obs.tracer
+        span = tracer.begin("transport.kick", "transport", cat="transport",
+                            flow=flow, batch=batch_size)
         cost = self.dispatch_cost(batch_size)
         self.kick_attempts += 1
         verdict = self.fault_hook(self, batch_size) if self.fault_hook is not None else None
@@ -79,19 +90,26 @@ class VirtioTransport:
             yield Timeout(cost)
         if verdict is not None and verdict[0] == "drop":
             self.kicks_dropped += 1
+            tracer.end(span, dropped=True)
             raise TransportDropError(
                 f"kick of {batch_size} command(s) lost across the boundary"
             )
         self.kicks += 1
         self.commands += batch_size
+        tracer.end(span)
+        registry = self._obs.registry
+        registry.counter("transport.kicks").inc()
+        registry.counter("transport.commands").inc(batch_size)
         return cost
 
-    def kick_reliable(self, batch_size: int = 1) -> Generator[Any, Any, float]:
+    def kick_reliable(
+        self, batch_size: int = 1, flow: int = NO_FLOW
+    ) -> Generator[Any, Any, float]:
         """Process: :meth:`kick`, retried with backoff until it lands."""
         return (
             yield from retrying(
                 self._sim,
-                lambda: self.kick(batch_size),
+                lambda: self.kick(batch_size, flow=flow),
                 KICK_RETRY_POLICY,
                 retry_on=(TransportDropError,),
                 name="transport.kick",

@@ -66,6 +66,28 @@ class Bus:
         self.transfer_count = 0
         self.transfer_failures = 0
         self.fault_hook: Optional[FaultHook] = None
+        self._registry = None  # optional MetricsRegistry (attach_metrics)
+
+    # -- observability -------------------------------------------------------
+    def attach_metrics(self, registry) -> None:
+        """Report live per-link instruments into a metrics registry.
+
+        Per completed transfer the bus updates ``bus.bytes_moved`` and
+        ``bus.transfers`` counters plus a ``bus.utilization`` gauge
+        (busy time / elapsed time, labelled by link name). Attaching a
+        registry never alters transfer timing.
+        """
+        self._registry = registry
+
+    def _report_metrics(self) -> None:
+        registry = self._registry
+        if registry is None or not registry.enabled:
+            return
+        registry.counter("bus.bytes_moved", link=self.name).value = float(self.bytes_moved)
+        registry.counter("bus.transfers", link=self.name).value = float(self.transfer_count)
+        now = self._sim.now
+        utilization = self.busy_time / now if now > 0 else 0.0
+        registry.gauge("bus.utilization", link=self.name).set(utilization, time=now)
 
     # -- contention injection ------------------------------------------------
     def set_load(self, load: float) -> None:
@@ -119,6 +141,8 @@ class Bus:
             self.bytes_moved += nbytes
             self.busy_time += duration
             self.transfer_count += 1
+            if self._registry is not None:
+                self._report_metrics()
         finally:
             self._lock.release()
         return self._sim.now - start

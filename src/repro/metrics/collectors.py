@@ -21,19 +21,34 @@ from repro.units import SECOND
 
 
 class FpsCollector:
-    """Frame accounting for one app run."""
+    """Frame accounting for one app run.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.obs.registry.MetricsRegistry` attached, every
+    presentation/drop is mirrored into named ``frames.*`` instruments —
+    the ad-hoc dict counters stay authoritative so behaviour (and FPS
+    numbers) are identical with and without observability.
+    """
+
+    def __init__(self, registry=None) -> None:
         self.presented = 0
         self.present_times: List[float] = []
         self.dropped: Dict[str, int] = {}
+        self._registry = registry
+
+    def attach_registry(self, registry) -> None:
+        """Mirror future frame accounting into ``registry``."""
+        self._registry = registry
 
     def note_presented(self, now: float) -> None:
         self.presented += 1
         self.present_times.append(now)
+        if self._registry is not None:
+            self._registry.counter("frames.presented").inc()
 
     def note_dropped(self, reason: str) -> None:
         self.dropped[reason] = self.dropped.get(reason, 0) + 1
+        if self._registry is not None:
+            self._registry.counter("frames.dropped", reason=reason).inc()
 
     @property
     def dropped_total(self) -> int:
@@ -188,3 +203,12 @@ class ResilienceStats:
             "degrades": self.degrades,
             "restores": self.restores,
         }
+
+    def to_registry(self, registry) -> None:
+        """Publish the resilience accounting as named instruments."""
+        for kind, count in sorted(self.fault_counts().items()):
+            registry.counter("resilience.faults", kind=kind).inc(count)
+        registry.counter("resilience.retries").inc(self.retries)
+        registry.counter("resilience.prefetch_failures").inc(self.prefetch_failures)
+        registry.counter("resilience.degrades").inc(self.degrades)
+        registry.counter("resilience.restores").inc(self.restores)

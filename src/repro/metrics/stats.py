@@ -6,9 +6,13 @@ to means, percentiles and empirical CDFs over trace-derived samples.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_RAISE = object()
 
 
 def mean(values: Sequence[float]) -> float:
@@ -18,18 +22,33 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile, q in [0, 100]."""
-    if not values:
-        raise ConfigurationError("percentile of empty sequence")
-    if not 0.0 <= q <= 100.0:
+def percentile(
+    values: Sequence[float], q: float, default: Optional[float] = _RAISE
+) -> Optional[float]:
+    """Linear-interpolated percentile, q in [0, 100].
+
+    Edge cases are explicit: an empty input raises (or returns ``default``
+    when one is supplied — histogram instruments lean on that); a single
+    sample is every percentile of itself; q=0 / q=100 return the exact
+    min / max with no interpolation rounding; a NaN or out-of-range q is
+    rejected rather than silently indexing somewhere.
+    """
+    if not 0.0 <= q <= 100.0:  # NaN fails this comparison too
         raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        if default is _RAISE:
+            raise ConfigurationError("percentile of empty sequence")
+        return default
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
+    if q == 0.0:
+        return ordered[0]
+    if q == 100.0:
+        return ordered[-1]
     rank = (q / 100.0) * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
+    low = min(int(math.floor(rank)), len(ordered) - 2)
+    high = low + 1
     fraction = rank - low
     return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 

@@ -26,6 +26,17 @@ Error handling
 An exception escaping a process is captured and re-raised from
 :meth:`Simulator.run` (fail fast). Processes waiting on a failed process
 observe the same exception at their ``yield``.
+
+Observability hooks
+-------------------
+:meth:`Simulator.add_hook` registers a :class:`SimHook`-shaped observer.
+Hooks see every event dispatch (``on_event_dispatch``), every process
+resumption (``on_process_resume``) and every process yield
+(``on_process_yield`` — including the waitable/timeout yielded, which is
+how :class:`repro.obs.profile.SelfProfiler` attributes simulated time to
+devices and subsystems). Hooks are pure observers: they must not schedule
+or mutate, and with none registered the kernel pays a single attribute
+check per dispatch.
 """
 
 from __future__ import annotations
@@ -37,6 +48,23 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.primitives import Timeout, Waitable
 
 ProcessGenerator = Generator[Any, Any, Any]
+
+
+class SimHook:
+    """Observer interface for kernel events (subclass what you need).
+
+    All callbacks receive the simulated time first. They run synchronously
+    inside the kernel and must neither block nor mutate simulator state.
+    """
+
+    def on_event_dispatch(self, time: float, call: "ScheduledCall") -> None:
+        """An event popped off the heap is about to run."""
+
+    def on_process_resume(self, time: float, process: "Process") -> None:
+        """A process generator is about to be stepped."""
+
+    def on_process_yield(self, time: float, process: "Process", target: Any) -> None:
+        """A process yielded ``target`` (a Waitable or Timeout)."""
 
 
 class ScheduledCall:
@@ -103,6 +131,10 @@ class Process(Waitable):
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         """Advance the generator by one yield, wiring up the next waitable."""
+        hooks = self._sim._hooks
+        if hooks:
+            for hook in hooks:
+                hook.on_process_resume(self._sim.now, self)
         try:
             if exc is not None:
                 target = self._gen.throw(exc)
@@ -115,6 +147,9 @@ class Process(Waitable):
             self._finish(None, err)
             return
 
+        if hooks:
+            for hook in hooks:
+                hook.on_process_yield(self._sim.now, self, target)
         if isinstance(target, Timeout):
             self._sim.schedule(target.delay, self._step, target.value, None)
         elif isinstance(target, Waitable):
@@ -164,6 +199,17 @@ class Simulator:
         self._heap: List[Tuple[float, int, ScheduledCall]] = []
         self._processes: List[Process] = []
         self._failure: Optional[Tuple[Process, BaseException]] = None
+        self._hooks: List[SimHook] = []
+
+    # -- observability hooks -------------------------------------------------
+    def add_hook(self, hook: SimHook) -> None:
+        """Register a kernel observer (see :class:`SimHook`)."""
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: SimHook) -> None:
+        """Unregister a previously added observer. Idempotent."""
+        if hook in self._hooks:
+            self._hooks.remove(hook)
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -203,6 +249,9 @@ class Simulator:
             if time < self._now:
                 raise SimulationError("event heap time went backwards")
             self._now = time
+            if self._hooks:
+                for hook in self._hooks:
+                    hook.on_event_dispatch(time, call)
             call.fn(*call.args)
             self._raise_pending_failure()
             return True

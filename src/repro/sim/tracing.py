@@ -6,12 +6,25 @@ implementations. :class:`TraceLog` is our equivalent: components append
 :class:`TraceRecord` entries (an event kind plus free-form fields) and the
 experiment layer filters and aggregates them into the paper's CDFs and
 tables.
+
+The log keeps a per-kind index alongside the time-ordered record list, so
+the hot analysis paths (:meth:`TraceLog.of_kind`, :meth:`TraceLog.values`,
+:meth:`TraceLog.count`) are O(records of that kind) instead of O(all
+records), and :meth:`TraceLog.kind_counts` is an O(kinds) dict copy kept
+incrementally rather than a re-walk.
+
+For long chaos/density runs a bounded-memory mode caps retention:
+``TraceLog(max_records=N)`` keeps the newest N records as a ring buffer
+and counts evictions in :attr:`TraceLog.dropped_records`. Queries then see
+a trailing window; :attr:`TraceLog.recorded_total` still counts every
+record ever accepted.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -41,17 +54,30 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only event log with simple filtering helpers.
+    """Append-only event log with indexed filtering helpers.
 
     Recording can be disabled wholesale (``enabled=False``) or narrowed to a
     set of kinds, so long benchmark runs don't pay for instrumentation they
-    do not read.
+    do not read. ``max_records`` bounds memory: the oldest records are
+    evicted ring-buffer style and tallied in :attr:`dropped_records`.
     """
 
-    def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Optional[List[str]] = None,
+        max_records: Optional[int] = None,
+    ):
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
         self.enabled = enabled
         self._kinds = set(kinds) if kinds is not None else None
-        self._records: List[TraceRecord] = []
+        self.max_records = max_records
+        self._records: Deque[TraceRecord] = deque()
+        self._by_kind: Dict[str, Deque[TraceRecord]] = {}
+        self._counts: Dict[str, int] = {}
+        self.dropped_records = 0
+        self.recorded_total = 0
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
         """Append one record (no-op when disabled or kind-filtered out)."""
@@ -59,7 +85,30 @@ class TraceLog:
             return
         if self._kinds is not None and kind not in self._kinds:
             return
-        self._records.append(TraceRecord(time, kind, fields))
+        record = TraceRecord(time, kind, fields)
+        self._records.append(record)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = deque()
+        bucket.append(record)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        self.recorded_total += 1
+        if self.max_records is not None and len(self._records) > self.max_records:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        oldest = self._records.popleft()
+        # Records enter both structures in the same order, so the evicted
+        # record is necessarily at the head of its kind's bucket.
+        bucket = self._by_kind[oldest.kind]
+        bucket.popleft()
+        remaining = self._counts[oldest.kind] - 1
+        if remaining:
+            self._counts[oldest.kind] = remaining
+        else:
+            del self._counts[oldest.kind]
+            del self._by_kind[oldest.kind]
+        self.dropped_records += 1
 
     def __len__(self) -> int:
         return len(self._records)
@@ -68,28 +117,29 @@ class TraceLog:
         return iter(self._records)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        """All records of one kind, in time order."""
-        return [r for r in self._records if r.kind == kind]
+        """All retained records of one kind, in time order. O(k)."""
+        return list(self._by_kind.get(kind, ()))
 
     def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
         """All records matching an arbitrary predicate."""
         return [r for r in self._records if predicate(r)]
 
     def values(self, kind: str, field_name: str) -> List[Any]:
-        """Extract one payload field from every record of ``kind``."""
-        return [r.fields[field_name] for r in self._records if r.kind == kind]
+        """Extract one payload field from every record of ``kind``. O(k)."""
+        return [r.fields[field_name] for r in self._by_kind.get(kind, ())]
 
     def count(self, kind: str) -> int:
-        """Number of records of one kind (cheaper than ``len(of_kind(...))``)."""
-        return sum(1 for r in self._records if r.kind == kind)
+        """Number of retained records of one kind. O(1)."""
+        return self._counts.get(kind, 0)
 
     def kind_counts(self) -> Dict[str, int]:
         """Histogram of record kinds — the summary chaos reports print."""
-        counts: Dict[str, int] = {}
-        for r in self._records:
-            counts[r.kind] = counts.get(r.kind, 0) + 1
-        return counts
+        return dict(self._counts)
 
     def clear(self) -> None:
-        """Drop every record (keeps enablement settings)."""
+        """Drop every record (keeps enablement and capacity settings)."""
         self._records.clear()
+        self._by_kind.clear()
+        self._counts.clear()
+        self.dropped_records = 0
+        self.recorded_total = 0
