@@ -1,0 +1,34 @@
+"""Experiment-engine benchmarks: kernel hot path + memoized parallel sweeps."""
+
+from repro.experiments.bench import bench_kernel, bench_suite, validate_bench_schema
+
+
+def test_kernel_beats_frozen_baseline(benchmark):
+    result = benchmark.pedantic(bench_kernel, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = result["speedup"]
+    benchmark.extra_info["events"] = result["events"]
+    # The optimized kernel must not regress past the frozen pre-PR copy.
+    assert result["speedup"] > 1.0
+
+
+def test_engine_suite_memoizes(benchmark, bench_duration):
+    suite = benchmark.pedantic(
+        bench_suite,
+        kwargs=dict(jobs=2, duration_ms=bench_duration, per_category=1,
+                    emulators=("vSoC", "GAE")),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["parallel_speedup"] = suite["parallel_speedup"]
+    benchmark.extra_info["warm_cache_hit_rate"] = suite["warm_cache_hit_rate"]
+    assert suite["parallel_identical"]
+    assert suite["warm_identical"]
+    assert suite["warm_cache_hit_rate"] == 1.0
+    # Warm rerun must be dominated by cache loads, not simulation.
+    assert suite["warm_s"] < suite["serial_s"] / 2
+
+
+def test_bench_report_schema():
+    from repro.experiments.bench import run_bench
+
+    report = run_bench(jobs=2, quick=True)
+    assert validate_bench_schema(report) == []

@@ -19,7 +19,7 @@ GAE's.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.apps.ar import ArApp
 from repro.apps.base import App
@@ -28,6 +28,42 @@ from repro.apps.livestream import LivestreamApp
 from repro.apps.popular import Heavy3dApp, PopularApp
 from repro.apps.video import UhdVideoApp, Video360App
 from repro.units import MIB
+
+#: (dotted factory path, ctor kwargs) — the declarative form of one app.
+#: The experiment engine ships these across process boundaries and hashes
+#: them into cache keys, so they must stay plain picklable data.
+AppParams = Tuple[str, Dict[str, Any]]
+
+_FACTORY_PATHS = {
+    UhdVideoApp: "repro.apps.video:UhdVideoApp",
+    Video360App: "repro.apps.video:Video360App",
+    CameraApp: "repro.apps.camera:CameraApp",
+    ArApp: "repro.apps.ar:ArApp",
+    LivestreamApp: "repro.apps.livestream:LivestreamApp",
+    PopularApp: "repro.apps.popular:PopularApp",
+    Heavy3dApp: "repro.apps.popular:Heavy3dApp",
+}
+
+
+def app_factory_path(cls: type) -> str:
+    """The dotted ``"pkg.mod:Name"`` path of a catalog app class."""
+    try:
+        return _FACTORY_PATHS[cls]
+    except KeyError:
+        return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def resolve_app_factory(path: str):
+    """``"pkg.mod:Name"`` → the callable (used by the experiment engine)."""
+    module_name, _, attr = path.partition(":")
+    module = __import__(module_name, fromlist=[attr])
+    return getattr(module, attr)
+
+
+def build_app(params: AppParams) -> App:
+    """Instantiate one app from its declarative (factory, kwargs) form."""
+    path, kwargs = params
+    return resolve_app_factory(path)(**kwargs)
 
 #: Table 1 categories, in the paper's row order.
 EMERGING_CATEGORIES = ("UHD Video", "360 Video", "Camera", "AR", "Livestream")
@@ -72,57 +108,57 @@ def _rng(name: str, seed: int) -> random.Random:
     return random.Random(f"{name}:{seed}")
 
 
-def emerging_apps(seed: int = 0, per_category: int = 10) -> List[App]:
-    """Instantiate the 50 emerging apps of Table 1 (fresh objects each call)."""
-    apps: List[App] = []
+def emerging_app_params(seed: int = 0, per_category: int = 10) -> List[AppParams]:
+    """Declarative parameters for the 50 emerging apps of Table 1.
+
+    The rng draw order per app matches the historical inline construction,
+    so the jittered parameters (and therefore every published number) are
+    unchanged.
+    """
+    params: List[AppParams] = []
     for i in range(per_category):
         r = _rng(f"uhd-{i}", seed)
-        apps.append(
-            UhdVideoApp(
-                name=f"uhd-{i + 1:02d}",
-                buffers=r.choice((3, 4, 4, 5)),
-                compose_dirty_fraction=r.uniform(0.45, 0.6),
-                deadline_vsyncs=r.uniform(2.5, 3.5),
-            )
-        )
+        params.append((_FACTORY_PATHS[UhdVideoApp], dict(
+            name=f"uhd-{i + 1:02d}",
+            buffers=r.choice((3, 4, 4, 5)),
+            compose_dirty_fraction=r.uniform(0.45, 0.6),
+            deadline_vsyncs=r.uniform(2.5, 3.5),
+        )))
     for i in range(per_category):
         r = _rng(f"360-{i}", seed)
-        apps.append(
-            Video360App(
-                name=f"360-{i + 1:02d}",
-                buffers=r.choice((3, 4, 4, 5)),
-                deadline_vsyncs=r.uniform(3.0, 4.0),
-            )
-        )
+        params.append((_FACTORY_PATHS[Video360App], dict(
+            name=f"360-{i + 1:02d}",
+            buffers=r.choice((3, 4, 4, 5)),
+            deadline_vsyncs=r.uniform(3.0, 4.0),
+        )))
     for i in range(per_category):
         r = _rng(f"cam-{i}", seed)
-        apps.append(
-            CameraApp(
-                name=f"cam-{i + 1:02d}",
-                raw_buffers=r.choice((3, 3, 4)),
-                out_buffers=r.choice((3, 3, 4)),
-                # Full-screen viewfinder: nearly the whole frame is damage.
-                compose_dirty_fraction=r.uniform(0.85, 1.0),
-            )
-        )
+        params.append((_FACTORY_PATHS[CameraApp], dict(
+            name=f"cam-{i + 1:02d}",
+            raw_buffers=r.choice((3, 3, 4)),
+            out_buffers=r.choice((3, 3, 4)),
+            # Full-screen viewfinder: nearly the whole frame is damage.
+            compose_dirty_fraction=r.uniform(0.85, 1.0),
+        )))
     for i in range(per_category):
         r = _rng(f"ar-{i}", seed)
-        apps.append(
-            ArApp(
-                name=f"ar-{i + 1:02d}",
-                render_overdraw=r.uniform(0.8, 1.4),
-            )
-        )
+        params.append((_FACTORY_PATHS[ArApp], dict(
+            name=f"ar-{i + 1:02d}",
+            render_overdraw=r.uniform(0.8, 1.4),
+        )))
     for i in range(per_category):
         r = _rng(f"live-{i}", seed)
-        apps.append(
-            LivestreamApp(
-                name=f"live-{i + 1:02d}",
-                buffers=r.choice((3, 4, 4, 5)),
-                network_latency_ms=r.uniform(0.8, 2.0),
-            )
-        )
-    return apps
+        params.append((_FACTORY_PATHS[LivestreamApp], dict(
+            name=f"live-{i + 1:02d}",
+            buffers=r.choice((3, 4, 4, 5)),
+            network_latency_ms=r.uniform(0.8, 2.0),
+        )))
+    return params
+
+
+def emerging_apps(seed: int = 0, per_category: int = 10) -> List[App]:
+    """Instantiate the 50 emerging apps of Table 1 (fresh objects each call)."""
+    return [build_app(p) for p in emerging_app_params(seed, per_category)]
 
 
 #: (tier, count): the top-25 popular mix — mostly light/medium UI apps with
@@ -134,9 +170,9 @@ _POPULAR_TIERS = (
 )
 
 
-def popular_apps(seed: int = 0) -> List[App]:
-    """The top-25 popular apps of §5.5 (pop-01 ... pop-25)."""
-    apps: List[App] = []
+def popular_app_params(seed: int = 0) -> List[AppParams]:
+    """Declarative parameters for the top-25 popular apps of §5.5."""
+    params: List[AppParams] = []
     index = 1
     for tier, count in _POPULAR_TIERS:
         for _ in range(count):
@@ -147,48 +183,54 @@ def popular_apps(seed: int = 0) -> List[App]:
             # Window buffers reflect the app's *internal* render resolution
             # (apps upscale; they rarely draw UI at native 4K).
             if tier == "light":
-                apps.append(
-                    PopularApp(
-                        name=name,
-                        render_bytes=int(r.uniform(30, 80) * MIB),
-                        svm_calls_per_frame=r.randint(4, 8),
-                        svm_call_bytes=int(r.uniform(0.3, 1.2) * MIB),
-                        window_bytes=int(r.uniform(4, 8) * MIB),
-                        compose_dirty_fraction=r.uniform(0.2, 0.35),
-                        atlas_bytes=int(r.uniform(2, 4) * MIB),
-                    )
-                )
+                params.append((_FACTORY_PATHS[PopularApp], dict(
+                    name=name,
+                    render_bytes=int(r.uniform(30, 80) * MIB),
+                    svm_calls_per_frame=r.randint(4, 8),
+                    svm_call_bytes=int(r.uniform(0.3, 1.2) * MIB),
+                    window_bytes=int(r.uniform(4, 8) * MIB),
+                    compose_dirty_fraction=r.uniform(0.2, 0.35),
+                    atlas_bytes=int(r.uniform(2, 4) * MIB),
+                )))
             elif tier == "medium":
-                apps.append(
-                    PopularApp(
-                        name=name,
-                        render_bytes=int(r.uniform(180, 360) * MIB),
-                        svm_calls_per_frame=r.randint(8, 14),
-                        svm_call_bytes=int(r.uniform(0.5, 1.5) * MIB),
-                        window_bytes=int(r.uniform(10, 14) * MIB),
-                        compose_dirty_fraction=r.uniform(0.35, 0.5),
-                        atlas_bytes=int(r.uniform(8, 15) * MIB),
-                    )
-                )
+                params.append((_FACTORY_PATHS[PopularApp], dict(
+                    name=name,
+                    render_bytes=int(r.uniform(180, 360) * MIB),
+                    svm_calls_per_frame=r.randint(8, 14),
+                    svm_call_bytes=int(r.uniform(0.5, 1.5) * MIB),
+                    window_bytes=int(r.uniform(10, 14) * MIB),
+                    compose_dirty_fraction=r.uniform(0.35, 0.5),
+                    atlas_bytes=int(r.uniform(8, 15) * MIB),
+                )))
             else:
-                apps.append(
-                    Heavy3dApp(
-                        name=name,
-                        render_bytes=int(r.uniform(380, 460) * MIB),
-                    )
-                )
+                params.append((_FACTORY_PATHS[Heavy3dApp], dict(
+                    name=name,
+                    render_bytes=int(r.uniform(380, 460) * MIB),
+                )))
             index += 1
-    return apps
+    return params
+
+
+def popular_apps(seed: int = 0) -> List[App]:
+    """The top-25 popular apps of §5.5 (pop-01 ... pop-25)."""
+    return [build_app(p) for p in popular_app_params(seed)]
+
+
+def heavy_3d_app_params(seed: int = 0, count: int = 5) -> List[AppParams]:
+    """Declarative parameters for the Trinity-evaluation gaming set."""
+    params: List[AppParams] = []
+    for i in range(count):
+        name = f"game-{i + 1:02d}"
+        r = _rng(name, seed)
+        params.append((_FACTORY_PATHS[Heavy3dApp], dict(
+            name=name, render_bytes=int(r.uniform(380, 460) * MIB),
+        )))
+    return params
 
 
 def heavy_3d_apps(seed: int = 0, count: int = 5) -> List[App]:
     """The Trinity-evaluation gaming set (§5.3's heavy-3D comparison)."""
-    apps: List[App] = []
-    for i in range(count):
-        name = f"game-{i + 1:02d}"
-        r = _rng(name, seed)
-        apps.append(Heavy3dApp(name=name, render_bytes=int(r.uniform(380, 460) * MIB)))
-    return apps
+    return [build_app(p) for p in heavy_3d_app_params(seed, count)]
 
 
 def apps_of_category(category: str, seed: int = 0) -> List[App]:

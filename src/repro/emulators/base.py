@@ -571,13 +571,14 @@ class Emulator:
                 command.done.fire(self.sim.now)
                 vdev.flow.complete()
                 tracer.end(span, queue_delay=self.sim.now - command.dispatched_at)
-                self.trace.record(
-                    self.sim.now,
-                    "host.op_retired",
-                    vdev=vdev.name,
-                    op=command.op,
-                    queue_delay=self.sim.now - command.dispatched_at,
-                )
+                if self.trace.wants("host.op_retired"):
+                    self.trace.record(
+                        self.sim.now,
+                        "host.op_retired",
+                        vdev=vdev.name,
+                        op=command.op,
+                        queue_delay=self.sim.now - command.dispatched_at,
+                    )
             else:  # pragma: no cover - defensive
                 raise ConfigurationError(f"unknown command {command!r}")
 

@@ -7,6 +7,19 @@ See DESIGN.md's per-experiment index. Each experiment module exposes
 """
 
 from repro.experiments.appbench import run_appbench, run_fig10, run_fig11
+from repro.experiments.engine import (
+    EngineReport,
+    PointSpec,
+    RunCache,
+    RunResult,
+    RunSpec,
+    StatsSummary,
+    cache_key,
+    run_many,
+    run_one,
+    source_fingerprint,
+    specs_for_apps,
+)
 from repro.experiments.breakdown import (
     run_fig12,
     run_fig16,
@@ -33,6 +46,17 @@ from repro.experiments.validate import validate
 
 __all__ = [
     "AppRun",
+    "EngineReport",
+    "PointSpec",
+    "RunCache",
+    "RunResult",
+    "RunSpec",
+    "StatsSummary",
+    "cache_key",
+    "run_many",
+    "run_one",
+    "source_fingerprint",
+    "specs_for_apps",
     "run_app",
     "run_category",
     "run_emulator_suite",

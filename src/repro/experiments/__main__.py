@@ -3,16 +3,20 @@
 Usage::
 
     python -m repro.experiments table2
-    python -m repro.experiments fig10 [--quick]
-    python -m repro.experiments all --quick
+    python -m repro.experiments fig10 [--quick] [--jobs 4]
+    python -m repro.experiments all --quick --jobs 4
+    python -m repro.experiments bench --jobs 4
     python -m repro.experiments observe --app ar --export trace.json \
         --metrics metrics.json
 
 Each command prints the regenerated rows/series next to the paper's
 reference values. ``--quick`` shortens simulated durations and app counts
-(same shapes, coarser numbers). ``observe`` runs one app with the
+(same shapes, coarser numbers). ``--jobs N`` fans the engine-backed sweeps
+over N worker processes and ``--no-cache`` disables the on-disk run cache
+(both apply to every command). ``observe`` runs one app with the
 observability stack enabled and exports a Perfetto-compatible trace plus
-a metrics/self-profile JSON (it is excluded from ``all``).
+a metrics/self-profile JSON; ``bench`` measures the engine itself and
+writes ``BENCH_engine.json`` (both are excluded from ``all``).
 """
 
 from __future__ import annotations
@@ -371,9 +375,16 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the vSoC paper's tables and figures.",
     )
-    parser.add_argument("experiment", choices=[*COMMANDS, "all", "observe"])
+    parser.add_argument("experiment", choices=[*COMMANDS, "all", "observe", "bench"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan engine-backed sweeps over N worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk run cache (.repro-cache/)")
+    bench_group = parser.add_argument_group("bench options")
+    bench_group.add_argument("--out", metavar="PATH", default="BENCH_engine.json",
+                             help="where bench writes its JSON report")
     observe_group = parser.add_argument_group("observe options")
     observe_group.add_argument("--app", default="ar",
                                help="workload to observe (ar/video/camera/livestream)")
@@ -391,6 +402,15 @@ def main(argv=None) -> int:
                                help="also digest legacy TraceLog records into "
                                     "the exported trace")
     args = parser.parse_args(argv)
+    from repro.experiments import engine
+
+    engine.set_default_jobs(args.jobs)
+    engine.set_cache_default(not args.no_cache)
+    if args.experiment == "bench":
+        from repro.experiments.bench import cmd_bench
+
+        return cmd_bench(jobs=args.jobs, out_path=args.out, quick=args.quick,
+                         cache=not args.no_cache)
     if args.experiment == "observe":
         from repro.experiments.observe import DEFAULT_DURATION_MS, cmd_observe
 

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.catalog import EMERGING_CATEGORIES, emerging_apps
-from repro.experiments.runner import DEFAULT_DURATION_MS, AppRun, run_app
+from repro.apps.catalog import EMERGING_CATEGORIES, emerging_app_params
+from repro.experiments.engine import RunResult, run_many, specs_for_apps
+from repro.experiments.runner import DEFAULT_DURATION_MS
 from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
 
 EMULATORS = ("vSoC", "GAE", "QEMU-KVM", "LDPlayer", "Bluestacks", "Trinity")
@@ -44,50 +45,80 @@ class AppBenchResult:
         return sum(values) / len(values) if values else None
 
 
-def run_appbench(
+def _collect_appbench(
     emulator_name: str,
-    machine_spec: MachineSpec = HIGH_END_DESKTOP,
-    duration_ms: float = DEFAULT_DURATION_MS,
-    apps_per_category: int = 10,
-    seed: int = 0,
+    machine_spec: MachineSpec,
+    results: Sequence[RunResult],
 ) -> AppBenchResult:
-    """All emerging apps on one emulator/machine."""
-    result = AppBenchResult(emulator=emulator_name, machine=machine_spec.name)
-    by_category: Dict[str, List[AppRun]] = {c: [] for c in EMERGING_CATEGORIES}
-    for app in emerging_apps(seed=seed, per_category=apps_per_category):
-        run = run_app(app, emulator_name, machine_spec, duration_ms, seed=seed)
-        by_category[app.category].append(run)
-        result.per_app[app.name] = run.result.fps if run.result.ran else None
+    """Aggregate one emulator's engine results into its Figs 10/11 bars."""
+    bench = AppBenchResult(emulator=emulator_name, machine=machine_spec.name)
+    by_category: Dict[str, List[RunResult]] = {c: [] for c in EMERGING_CATEGORIES}
+    for run in results:
+        by_category[run.result.category].append(run)
+        bench.per_app[run.result.app] = run.result.fps if run.result.ran else None
         if run.result.ran:
-            result.runnable += 1
+            bench.runnable += 1
     for category, runs in by_category.items():
         fps_values = [r.result.fps for r in runs if r.result.ran]
         if fps_values:
-            result.category_fps[category] = sum(fps_values) / len(fps_values)
+            bench.category_fps[category] = sum(fps_values) / len(fps_values)
         if category in LATENCY_CATEGORIES:
             lat_values = [
                 r.result.latency_avg for r in runs
                 if r.result.ran and r.result.latency_avg is not None
             ]
             if lat_values:
-                result.category_latency[category] = sum(lat_values) / len(lat_values)
-    return result
+                bench.category_latency[category] = sum(lat_values) / len(lat_values)
+    return bench
+
+
+def run_appbench(
+    emulator_name: str,
+    machine_spec: MachineSpec = HIGH_END_DESKTOP,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    apps_per_category: int = 10,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+) -> AppBenchResult:
+    """All emerging apps on one emulator/machine (engine-backed)."""
+    specs = specs_for_apps(
+        emerging_app_params(seed=seed, per_category=apps_per_category),
+        emulator_name, machine_spec, duration_ms, seed=seed,
+    )
+    report = run_many(specs, jobs=jobs, cache=cache)
+    return _collect_appbench(emulator_name, machine_spec, report.results)
 
 
 def run_fig10(machine_spec: MachineSpec = HIGH_END_DESKTOP,
               duration_ms: float = DEFAULT_DURATION_MS,
               apps_per_category: int = 10,
               emulators: Sequence[str] = EMULATORS,
-              seed: int = 0) -> Dict[str, AppBenchResult]:
-    """FPS bars per category per emulator (Fig 10 high-end / Fig 11 laptop)."""
-    return {
-        name: run_appbench(name, machine_spec, duration_ms, apps_per_category, seed)
-        for name in emulators
-    }
+              seed: int = 0,
+              jobs: Optional[int] = None,
+              cache: bool = True) -> Dict[str, AppBenchResult]:
+    """FPS bars per category per emulator (Fig 10 high-end / Fig 11 laptop).
+
+    The whole (emulator × app) grid is one engine submission, so ``jobs``
+    parallelism spans emulators, not just one emulator's apps.
+    """
+    params = emerging_app_params(seed=seed, per_category=apps_per_category)
+    specs = []
+    for name in emulators:
+        specs.extend(
+            specs_for_apps(params, name, machine_spec, duration_ms, seed=seed)
+        )
+    report = run_many(specs, jobs=jobs, cache=cache)
+    results: Dict[str, AppBenchResult] = {}
+    for slot, name in enumerate(emulators):
+        chunk = report.results[slot * len(params):(slot + 1) * len(params)]
+        results[name] = _collect_appbench(name, machine_spec, chunk)
+    return results
 
 
 def run_fig11(duration_ms: float = DEFAULT_DURATION_MS, apps_per_category: int = 10,
-              emulators: Sequence[str] = EMULATORS, seed: int = 0):
+              emulators: Sequence[str] = EMULATORS, seed: int = 0,
+              jobs: Optional[int] = None, cache: bool = True):
     """Fig 11 = Fig 10 on the middle-end laptop (thermal effects active).
 
     Note: the laptop's thermal collapse develops over ~30-60 simulated
@@ -95,7 +126,8 @@ def run_fig11(duration_ms: float = DEFAULT_DURATION_MS, apps_per_category: int =
     """
     from repro.hw.machine import MIDDLE_END_LAPTOP
 
-    return run_fig10(MIDDLE_END_LAPTOP, duration_ms, apps_per_category, emulators, seed)
+    return run_fig10(MIDDLE_END_LAPTOP, duration_ms, apps_per_category, emulators,
+                     seed, jobs=jobs, cache=cache)
 
 
 def pairwise_comparison(results: Dict[str, AppBenchResult], baseline: str,

@@ -10,25 +10,33 @@
   are discarded.
 * **§5.5** — the same two ablations over the top-25 popular apps: the
   fraction of apps losing FPS and the average loss.
+
+All sweeps route through :mod:`repro.experiments.engine`; the ablated
+emulator constructors are expressed as dotted-path factories plus kwargs so
+each variant hashes to its own stable cache key.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.apps.catalog import EMERGING_CATEGORIES, emerging_apps, popular_apps
-from repro.emulators import make_vsoc
-from repro.experiments.runner import DEFAULT_DURATION_MS, run_app
+from repro.apps.catalog import (
+    EMERGING_CATEGORIES,
+    emerging_app_params,
+    popular_app_params,
+)
+from repro.experiments.engine import run_many, run_one, specs_for_apps
+from repro.experiments.runner import DEFAULT_DURATION_MS
 from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
 from repro.metrics.stats import cdf_points
 
-#: The three Fig 12 variants, in bar order.
-VARIANTS: Dict[str, Optional[Callable]] = {
-    "vSoC": None,  # default factory
-    "no-prefetch": functools.partial(make_vsoc, prefetch=False),
-    "no-fence": functools.partial(make_vsoc, fences=False),
+#: The three Fig 12 variants, in bar order: name → (emulator factory dotted
+#: path or None for the stock registry entry, factory kwargs).
+VARIANTS: Dict[str, Tuple[Optional[str], Mapping[str, Any]]] = {
+    "vSoC": (None, {}),
+    "no-prefetch": ("repro.emulators:make_vsoc", {"prefetch": False}),
+    "no-fence": ("repro.emulators:make_vsoc", {"fences": False}),
 }
 
 
@@ -56,18 +64,29 @@ def run_fig12(
     duration_ms: float = DEFAULT_DURATION_MS,
     apps_per_category: int = 10,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> BreakdownResult:
-    """The §5.4 ablation sweep over the emerging apps."""
+    """The §5.4 ablation sweep over the emerging apps.
+
+    The whole (variant × app) grid is one engine submission.
+    """
     result = BreakdownResult(machine=machine_spec.name)
     for category in EMERGING_CATEGORIES:
         result.category_fps[category] = {}
-    for variant, factory in VARIANTS.items():
+    params = emerging_app_params(seed=seed, per_category=apps_per_category)
+    specs = []
+    for factory, kwargs in VARIANTS.values():
+        specs.extend(specs_for_apps(
+            params, "vSoC", machine_spec, duration_ms, seed=seed,
+            emulator_factory=factory, emulator_kwargs=kwargs,
+        ))
+    report = run_many(specs, jobs=jobs, cache=cache)
+    for slot, variant in enumerate(VARIANTS):
         sums: Dict[str, List[float]] = {c: [] for c in EMERGING_CATEGORIES}
-        for app in emerging_apps(seed=seed, per_category=apps_per_category):
-            run = run_app(app, "vSoC", machine_spec, duration_ms, seed=seed,
-                          factory=factory)
+        for run in report.results[slot * len(params):(slot + 1) * len(params)]:
             if run.result.ran:
-                sums[app.category].append(run.result.fps)
+                sums[run.result.category].append(run.result.fps)
         for category, values in sums.items():
             if values:
                 result.category_fps[category][variant] = sum(values) / len(values)
@@ -97,17 +116,26 @@ def run_fig16(
     duration_ms: float = DEFAULT_DURATION_MS,
     seed: int = 0,
     prefetch: bool = False,
+    cache: bool = True,
 ) -> AccessLatencyResult:
     """Access-latency CDF on UHD video with the prefetch engine toggled.
 
     ``prefetch=False`` is the paper's Fig 16 configuration (write-
     invalidate); pass ``True`` to see the healthy baseline for contrast.
     """
-    from repro.apps.video import UhdVideoApp
+    from repro.experiments.engine import RunSpec
 
-    factory = functools.partial(make_vsoc, prefetch=prefetch)
-    run = run_app(UhdVideoApp(), "vSoC", machine_spec, duration_ms, seed=seed,
-                  factory=factory)
+    spec = RunSpec(
+        app_factory="repro.apps.video:UhdVideoApp",
+        app_kwargs={},
+        emulator="vSoC",
+        machine_spec=machine_spec,
+        duration_ms=duration_ms,
+        seed=seed,
+        emulator_factory="repro.emulators:make_vsoc",
+        emulator_kwargs={"prefetch": prefetch},
+    )
+    run = run_one(spec, cache=cache)
     samples = run.stats.access_latencies() if run.stats is not None else []
     return AccessLatencyResult(samples=samples)
 
@@ -143,16 +171,24 @@ def run_popular_breakdown(
     machine_spec: MachineSpec = HIGH_END_DESKTOP,
     duration_ms: float = DEFAULT_DURATION_MS,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Dict[str, PopularBreakdownResult]:
     """§5.5: both ablations over the top-25 popular apps."""
+    params = popular_app_params(seed=seed)
+    specs = []
+    for factory, kwargs in VARIANTS.values():
+        specs.extend(specs_for_apps(
+            params, "vSoC", machine_spec, duration_ms, seed=seed,
+            emulator_factory=factory, emulator_kwargs=kwargs,
+        ))
+    report = run_many(specs, jobs=jobs, cache=cache)
     fps_by_variant: Dict[str, Dict[str, float]] = {}
-    for variant, factory in VARIANTS.items():
+    for slot, variant in enumerate(VARIANTS):
         fps: Dict[str, float] = {}
-        for app in popular_apps(seed=seed):
-            run = run_app(app, "vSoC", machine_spec, duration_ms, seed=seed,
-                          factory=factory)
+        for run in report.results[slot * len(params):(slot + 1) * len(params)]:
             if run.result.ran:
-                fps[app.name] = run.result.fps
+                fps[run.result.app] = run.result.fps
         fps_by_variant[variant] = fps
     baseline = fps_by_variant["vSoC"]
     return {

@@ -10,9 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro.apps.catalog import popular_apps
+from repro.apps.catalog import popular_app_params
 from repro.experiments.appbench import EMULATORS
-from repro.experiments.runner import DEFAULT_DURATION_MS, run_app
+from repro.experiments.engine import run_many, specs_for_apps
+from repro.experiments.runner import DEFAULT_DURATION_MS
 from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
 
 
@@ -38,14 +39,24 @@ def run_fig15(
     duration_ms: float = DEFAULT_DURATION_MS,
     emulators: Sequence[str] = EMULATORS,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Dict[str, PopularResult]:
-    """The popular-app FPS bars."""
-    results: Dict[str, PopularResult] = {}
+    """The popular-app FPS bars (one engine submission for the whole grid)."""
+    params = popular_app_params(seed=seed)
+    specs = []
     for name in emulators:
+        specs.extend(
+            specs_for_apps(params, name, machine_spec, duration_ms, seed=seed)
+        )
+    report = run_many(specs, jobs=jobs, cache=cache)
+    results: Dict[str, PopularResult] = {}
+    for slot, name in enumerate(emulators):
         result = PopularResult(emulator=name)
-        for app in popular_apps(seed=seed):
-            run = run_app(app, name, machine_spec, duration_ms, seed=seed)
-            result.per_app[app.name] = run.result.fps if run.result.ran else None
+        for run in report.results[slot * len(params):(slot + 1) * len(params)]:
+            result.per_app[run.result.app] = (
+                run.result.fps if run.result.ran else None
+            )
         results[name] = result
     return results
 

@@ -9,21 +9,48 @@ machine to locate the crossovers:
   infinitely fast boundary, its two extra copies would be free.)
 * :func:`sweep_pcie_bandwidth` — how slow can the host's DMA path get
   before prefetch can no longer hide coherence under the slack intervals?
+
+Each sweep point is a :class:`~repro.experiments.engine.RunSpec` whose
+machine spec carries the override, so points run in parallel and memoize
+independently.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 from repro.apps.base import App
+from repro.apps.catalog import app_factory_path
 from repro.apps.video import UhdVideoApp
-from repro.experiments.runner import run_app
+from repro.experiments.engine import RunSpec, run_many, run_one
 from repro.hw.machine import HIGH_END_DESKTOP, MachineSpec
 
 
 def _spec_with(base: MachineSpec, **overrides) -> MachineSpec:
     return dataclasses.replace(base, **overrides)
+
+
+def _sweep_specs(
+    field: str,
+    gbps_values: Sequence[float],
+    emulator: str,
+    app_cls: Type[App],
+    base: MachineSpec,
+    duration_ms: float,
+    seed: int,
+) -> List[RunSpec]:
+    return [
+        RunSpec(
+            app_factory=app_factory_path(app_cls),
+            app_kwargs={},
+            emulator=emulator,
+            machine_spec=_spec_with(base, **{field: gbps}),
+            duration_ms=duration_ms,
+            seed=seed,
+        )
+        for gbps in gbps_values
+    ]
 
 
 def sweep_boundary_bandwidth(
@@ -33,15 +60,16 @@ def sweep_boundary_bandwidth(
     base: MachineSpec = HIGH_END_DESKTOP,
     duration_ms: float = 8_000.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Dict[float, float]:
     """FPS of a guest-memory emulator as its boundary path speeds up."""
-    results: Dict[float, float] = {}
-    for gbps in gbps_values:
-        spec = _spec_with(base, boundary_copy_gbps=gbps)
-        run = run_app(app_cls(), emulator, machine_spec=spec,
-                      duration_ms=duration_ms, seed=seed)
-        results[gbps] = run.result.fps
-    return results
+    specs = _sweep_specs("boundary_copy_gbps", gbps_values, emulator, app_cls,
+                         base, duration_ms, seed)
+    report = run_many(specs, jobs=jobs, cache=cache)
+    return {
+        gbps: run.result.fps for gbps, run in zip(gbps_values, report.results)
+    }
 
 
 def sweep_pcie_bandwidth(
@@ -51,6 +79,8 @@ def sweep_pcie_bandwidth(
     base: MachineSpec = HIGH_END_DESKTOP,
     duration_ms: float = 8_000.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Dict[float, float]:
     """vSoC's FPS as the host→GPU DMA path degrades.
 
@@ -58,13 +88,12 @@ def sweep_pcie_bandwidth(
     (~8-16 ms); once the UHD-frame copy time crosses it, compensation and
     chain reactions start eating frames.
     """
-    results: Dict[float, float] = {}
-    for gbps in gbps_values:
-        spec = _spec_with(base, pcie_gbps=gbps)
-        run = run_app(app_cls(), emulator, machine_spec=spec,
-                      duration_ms=duration_ms, seed=seed)
-        results[gbps] = run.result.fps
-    return results
+    specs = _sweep_specs("pcie_gbps", gbps_values, emulator, app_cls,
+                         base, duration_ms, seed)
+    report = run_many(specs, jobs=jobs, cache=cache)
+    return {
+        gbps: run.result.fps for gbps, run in zip(gbps_values, report.results)
+    }
 
 
 def boundary_crossover(
@@ -74,18 +103,29 @@ def boundary_crossover(
     duration_ms: float = 8_000.0,
     gbps_values: Sequence[float] = (4.6, 9.0, 18.0, 36.0, 72.0),
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Optional[float]:
     """Smallest swept boundary bandwidth at which GAE reaches ``tolerance``
     of vSoC's FPS — i.e. how much faster the boundary would need to be for
     the modular architecture to catch up. ``None`` if it never does
     (decode-bound emulators can't be fixed by memory bandwidth alone)."""
     if reference_fps is None:
-        reference_fps = run_app(
-            UhdVideoApp(), "vSoC", machine_spec=base, duration_ms=duration_ms,
-            seed=seed,
-        ).result.fps
+        reference = run_one(
+            RunSpec(
+                app_factory=app_factory_path(UhdVideoApp),
+                app_kwargs={},
+                emulator="vSoC",
+                machine_spec=base,
+                duration_ms=duration_ms,
+                seed=seed,
+            ),
+            cache=cache,
+        )
+        reference_fps = reference.result.fps
     sweep = sweep_boundary_bandwidth(
-        gbps_values, base=base, duration_ms=duration_ms, seed=seed
+        gbps_values, base=base, duration_ms=duration_ms, seed=seed,
+        jobs=jobs, cache=cache,
     )
     for gbps in sorted(sweep):
         if sweep[gbps] >= tolerance * reference_fps:

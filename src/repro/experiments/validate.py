@@ -13,7 +13,7 @@ the list of failures (empty = fully validated).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.units import MIB
 
@@ -32,8 +32,14 @@ def _claim(claims: List[Claim], name: str, passed: bool, detail: str) -> None:
 
 
 def validate(duration_ms: float = 8_000.0, apps_per_category: int = 2,
-             verbose: bool = True) -> List[Claim]:
-    """Run the validation suite; returns all claims (check ``passed``)."""
+             verbose: bool = True, jobs: Optional[int] = None,
+             cache: bool = True) -> List[Claim]:
+    """Run the validation suite; returns all claims (check ``passed``).
+
+    ``jobs``/``cache`` thread straight into the experiment engine: the app
+    sweeps fan out across cores and rerunning validation after an
+    unmodified checkout is almost entirely cache hits.
+    """
     claims: List[Claim] = []
 
     # --- Table 2 -----------------------------------------------------------
@@ -86,7 +92,8 @@ def validate(duration_ms: float = 8_000.0, apps_per_category: int = 2,
     # --- Figure 10 -----------------------------------------------------------
     from repro.experiments.appbench import run_fig10
 
-    fig10 = run_fig10(duration_ms=duration_ms, apps_per_category=apps_per_category)
+    fig10 = run_fig10(duration_ms=duration_ms, apps_per_category=apps_per_category,
+                      jobs=jobs, cache=cache)
     means = {name: r.mean_fps for name, r in fig10.items()}
     _claim(
         claims, "F10: emerging-app FPS ordering",
@@ -112,7 +119,8 @@ def validate(duration_ms: float = 8_000.0, apps_per_category: int = 2,
     # --- Figure 12 ablations -----------------------------------------------------
     from repro.experiments.breakdown import run_fig12, run_fig16
 
-    fig12 = run_fig12(duration_ms=duration_ms, apps_per_category=apps_per_category)
+    fig12 = run_fig12(duration_ms=duration_ms, apps_per_category=apps_per_category,
+                      jobs=jobs, cache=cache)
     no_prefetch = fig12.drop_percent("no-prefetch")
     no_fence = fig12.drop_percent("no-fence")
     video = fig12.category_fps["UHD Video"]
@@ -128,7 +136,7 @@ def validate(duration_ms: float = 8_000.0, apps_per_category: int = 2,
         f"-{no_fence:.0f}% (paper: -11%)",
     )
 
-    fig16 = run_fig16(duration_ms=duration_ms, prefetch=False)
+    fig16 = run_fig16(duration_ms=duration_ms, prefetch=False, cache=cache)
     _claim(
         claims, "F16: write-invalidate blocks tens of ms",
         fig16.maximum > 10.0,
@@ -138,7 +146,7 @@ def validate(duration_ms: float = 8_000.0, apps_per_category: int = 2,
     # --- Figure 15 -----------------------------------------------------------
     from repro.experiments.popular import pairwise_improvement, run_fig15
 
-    fig15 = run_fig15(duration_ms=duration_ms)
+    fig15 = run_fig15(duration_ms=duration_ms, jobs=jobs, cache=cache)
     gains = {
         name: pairwise_improvement(fig15, name)
         for name in fig15 if name != "vSoC"

@@ -42,10 +42,13 @@ check per dispatch.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.primitives import Timeout, Waitable
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 ProcessGenerator = Generator[Any, Any, Any]
 
@@ -71,24 +74,41 @@ class ScheduledCall:
     """Handle for a callback registered with :meth:`Simulator.schedule`.
 
     Supports cancellation: a cancelled call stays in the heap but is
-    skipped when popped (lazy deletion), which keeps ``cancel`` O(1).
+    skipped when popped (lazy deletion), which keeps ``cancel`` O(1). The
+    live-event counter backing :meth:`Simulator.pending_events` is adjusted
+    here, at cancel time, so the skip-on-pop needs no bookkeeping.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running. Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live_events -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<ScheduledCall t={self.time:.3f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+#: Allocate a ScheduledCall without the Python-level ``__init__`` frame —
+#: used on the two hottest construction sites (Timeout resume, schedule).
+_new_call = ScheduledCall.__new__
 
 
 class Process(Waitable):
@@ -109,9 +129,27 @@ class Process(Waitable):
         The exception that terminated the generator, if any.
     """
 
+    __slots__ = (
+        "_sim",
+        "_gen",
+        "_send",
+        "_throw",
+        "_schedule",
+        "name",
+        "alive",
+        "value",
+        "exception",
+        "_callbacks",
+    )
+
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = "process"):
         self._sim = sim
         self._gen = gen
+        # Pre-bound handles: _step runs once per process resumption, so the
+        # attribute chains (gen.send, sim.schedule) are hoisted out of it.
+        self._send = gen.send
+        self._throw = gen.throw
+        self._schedule = sim.schedule
         self.name = name
         self.alive = True
         self.value: Any = None
@@ -121,7 +159,7 @@ class Process(Waitable):
     # -- Waitable protocol -------------------------------------------------
     def add_callback(self, fn: Callable[[Any, Optional[BaseException]], None]) -> None:
         if not self.alive:
-            self._sim.schedule(0.0, fn, self.value, self.exception)
+            self._schedule(0.0, fn, self.value, self.exception)
         else:
             self._callbacks.append(fn)
 
@@ -131,15 +169,16 @@ class Process(Waitable):
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         """Advance the generator by one yield, wiring up the next waitable."""
-        hooks = self._sim._hooks
+        sim = self._sim
+        hooks = sim._hooks
         if hooks:
             for hook in hooks:
-                hook.on_process_resume(self._sim.now, self)
+                hook.on_process_resume(sim._now, self)
         try:
             if exc is not None:
-                target = self._gen.throw(exc)
+                target = self._throw(exc)
             else:
-                target = self._gen.send(value)
+                target = self._send(value)
         except StopIteration as stop:
             self._finish(stop.value, None)
             return
@@ -149,11 +188,25 @@ class Process(Waitable):
 
         if hooks:
             for hook in hooks:
-                hook.on_process_yield(self._sim.now, self, target)
-        if isinstance(target, Timeout):
-            self._sim.schedule(target.delay, self._step, target.value, None)
+                hook.on_process_yield(sim._now, self, target)
+        # Timeout is by far the most common yield (every modelled latency),
+        # so the exact-type fast path runs before the generic isinstance —
+        # and pushes onto the heap directly: Timeout's constructor already
+        # rejected negative delays, and nobody holds the handle to cancel.
+        if type(target) is Timeout:
+            call = _new_call(ScheduledCall)
+            call.time = when = sim._now + target.delay
+            call.fn = self._step
+            call.args = (target.value, None)
+            call.cancelled = False
+            call._sim = sim
+            sim._seq = seq = sim._seq + 1
+            _heappush(sim._heap, (when, seq, call))
+            sim._live_events += 1
         elif isinstance(target, Waitable):
             target.add_callback(self._step)
+        elif isinstance(target, Timeout):  # pragma: no cover - Timeout subclass
+            self._schedule(target.delay, self._step, target.value, None)
         else:
             bad = SimulationError(
                 f"process {self.name!r} yielded {target!r}; expected a Waitable or Timeout"
@@ -170,7 +223,11 @@ class Process(Waitable):
             # Surface it from Simulator.run() instead of failing silently.
             self._sim._note_failure(self, exc)
         for fn in callbacks:
-            self._sim.schedule(0.0, fn, value, exc)
+            self._schedule(0.0, fn, value, exc)
+        # Release the finished process so long runs don't accumulate every
+        # process ever spawned (the registry only tracks live ones for the
+        # deadlock report).
+        self._sim._processes.pop(self, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "done"
@@ -197,9 +254,13 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._heap: List[Tuple[float, int, ScheduledCall]] = []
-        self._processes: List[Process] = []
+        # Insertion-ordered registry of *live* processes (finished ones are
+        # pruned by Process._finish). A dict-as-ordered-set keeps removal
+        # O(1) while the deadlock report still lists names in spawn order.
+        self._processes: Dict[Process, None] = {}
         self._failure: Optional[Tuple[Process, BaseException]] = None
         self._hooks: List[SimHook] = []
+        self._live_events = 0
 
     # -- observability hooks -------------------------------------------------
     def add_hook(self, hook: SimHook) -> None:
@@ -222,9 +283,10 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ms of simulated time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        call = ScheduledCall(self._now + delay, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (call.time, self._seq, call))
+        call = ScheduledCall(self._now + delay, fn, args, self)
+        self._seq = seq = self._seq + 1
+        _heappush(self._heap, (call.time, seq, call))
+        self._live_events += 1
         return call
 
     def spawn(self, gen: ProcessGenerator, name: str = "process") -> Process:
@@ -235,25 +297,28 @@ class Simulator:
         another process without re-entrancy surprises.
         """
         proc = Process(self, gen, name=name)
-        self._processes.append(proc)
+        self._processes[proc] = None
         self.schedule(0.0, proc._start)
         return proc
 
     # -- execution ---------------------------------------------------------
     def step(self) -> bool:
         """Execute the single next event. Returns False if the heap is empty."""
-        while self._heap:
-            time, _seq, call = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, call = _heappop(heap)
             if call.cancelled:
                 continue
             if time < self._now:
                 raise SimulationError("event heap time went backwards")
             self._now = time
+            self._live_events -= 1
             if self._hooks:
                 for hook in self._hooks:
                     hook.on_event_dispatch(time, call)
             call.fn(*call.args)
-            self._raise_pending_failure()
+            if self._failure is not None:
+                self._raise_pending_failure()
             return True
         return False
 
@@ -264,12 +329,35 @@ class Simulator:
         the last event fires earlier, so back-to-back ``run`` calls compose.
         ``check_deadlock=True`` raises :class:`DeadlockError` if the heap
         drains while processes are still alive (useful in unit tests).
+
+        The dispatch loop is the single hottest path of the whole library
+        (every simulated event passes through it), so it is inlined here
+        rather than delegating to :meth:`step`: locals replace attribute
+        lookups and the per-event method call. The semantics are identical.
         """
-        while self._heap:
-            time = self._heap[0][0]
-            if until is not None and time > until:
+        heap = self._heap
+        pop = _heappop
+        now = self._now
+        while heap:
+            entry = heap[0]
+            if until is not None and entry[0] > until:
                 break
-            self.step()
+            entry = pop(heap)
+            call = entry[2]
+            if call.cancelled:
+                continue
+            time = entry[0]
+            if time < now:
+                raise SimulationError("event heap time went backwards")
+            self._now = now = time
+            self._live_events -= 1
+            hooks = self._hooks
+            if hooks:
+                for hook in hooks:
+                    hook.on_event_dispatch(time, call)
+            call.fn(*call.args)
+            if self._failure is not None:
+                self._raise_pending_failure()
         if until is not None and self._now < until:
             self._now = until
         if check_deadlock and not self._heap:
@@ -291,9 +379,15 @@ class Simulator:
     # -- introspection ---------------------------------------------------------
     @property
     def live_processes(self) -> Iterable[Process]:
-        """Processes that have not yet finished."""
+        """Processes that have not yet finished (spawn order)."""
         return [p for p in self._processes if p.alive]
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for _t, _s, c in self._heap if not c.cancelled)
+        """Number of not-yet-cancelled events in the heap. O(1).
+
+        Maintained as a live counter: incremented by :meth:`schedule`,
+        decremented on dispatch and on :meth:`ScheduledCall.cancel` —
+        re-walking the heap made this O(events) and showed up in sweeps
+        that poll it.
+        """
+        return self._live_events

@@ -33,6 +33,8 @@ class Waitable:
     resume order stays deterministic.
     """
 
+    __slots__ = ()
+
     def add_callback(self, fn: Callback) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -63,6 +65,8 @@ class SimEvent(Waitable):
     (next event-loop turn) with the stored value — the semantics of checking
     an already-signalled fence.
     """
+
+    __slots__ = ("_sim", "name", "fired", "value", "_exception", "_callbacks")
 
     def __init__(self, sim: Any, name: str = "event"):
         self._sim = sim
@@ -109,6 +113,8 @@ class AllOf(Waitable):
     The first child exception (if any) is propagated once all children have
     completed, so no completion is lost.
     """
+
+    __slots__ = ("_sim", "_pending", "_values", "_exception", "_callbacks", "_done")
 
     def __init__(self, sim: Any, children: Sequence[Waitable]):
         self._sim = sim

@@ -23,13 +23,16 @@ record ever accepted.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One instrumentation event.
+
+    A ``__slots__`` value class rather than a (frozen) dataclass: records
+    are allocated on the hottest instrumentation path, and the frozen
+    dataclass's ``object.__setattr__``-based init measurably dominated
+    :meth:`TraceLog.record`. Value semantics (equality, repr) are kept.
 
     Attributes
     ----------
@@ -42,15 +45,33 @@ class TraceRecord:
         Free-form payload (sizes, devices, durations, region IDs, ...).
     """
 
-    time: float
-    kind: str
-    fields: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: Optional[Dict[str, Any]] = None):
+        self.time = time
+        self.kind = kind
+        self.fields = {} if fields is None else fields
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
 
     def get(self, key: str, default: Any = None) -> Any:
         return self.fields.get(key, default)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.kind == other.kind
+            and self.fields == other.fields
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecord(time={self.time!r}, kind={self.kind!r}, fields={self.fields!r})"
+
+
+_new_record = TraceRecord.__new__
 
 
 class TraceLog:
@@ -79,19 +100,43 @@ class TraceLog:
         self.dropped_records = 0
         self.recorded_total = 0
 
+    def wants(self, kind: str) -> bool:
+        """Whether :meth:`record` would retain a record of ``kind``.
+
+        Hot call sites check this before assembling an expensive payload —
+        when recording is disabled or the kind is filtered out, the caller
+        skips even the keyword-argument packing.
+        """
+        if not self.enabled:
+            return False
+        kinds = self._kinds
+        return kinds is None or kind in kinds
+
     def record(self, time: float, kind: str, **fields: Any) -> None:
-        """Append one record (no-op when disabled or kind-filtered out)."""
+        """Append one record (allocation-light no-op when disabled or
+        kind-filtered out — nothing beyond the call's own kwargs dict is
+        built before the filter check)."""
         if not self.enabled:
             return
-        if self._kinds is not None and kind not in self._kinds:
+        kinds = self._kinds
+        if kinds is not None and kind not in kinds:
             return
-        record = TraceRecord(time, kind, fields)
+        # Allocate without the Python-level __init__ frame: this is the
+        # single hottest allocation site in a simulation run.
+        record = _new_record(TraceRecord)
+        record.time = time
+        record.kind = kind
+        record.fields = fields
         self._records.append(record)
-        bucket = self._by_kind.get(kind)
-        if bucket is None:
+        # One dict probe in the common (kind already seen) case; the
+        # _by_kind/_counts invariant guarantees both hit or both miss.
+        try:
+            self._by_kind[kind].append(record)
+            self._counts[kind] += 1
+        except KeyError:
             bucket = self._by_kind[kind] = deque()
-        bucket.append(record)
-        self._counts[kind] = self._counts.get(kind, 0) + 1
+            bucket.append(record)
+            self._counts[kind] = 1
         self.recorded_total += 1
         if self.max_records is not None and len(self._records) > self.max_records:
             self._evict_oldest()

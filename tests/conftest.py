@@ -1,0 +1,25 @@
+"""Shared test fixtures.
+
+The experiment engine memoizes runs under ``.repro-cache/`` by default;
+tests must never leave artifacts in the working tree, so the whole session
+is pointed at a throwaway directory. Within-session memoization still
+works (repeated points across tests hit the temp cache).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.engine import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache(tmp_path_factory):
+    path = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous

@@ -248,3 +248,68 @@ def test_determinism_two_identical_runs():
         return order
 
     assert build() == build()
+
+
+def test_finished_processes_are_pruned():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(1.0)
+
+    for i in range(10):
+        sim.spawn(quick(), name=f"q{i}")
+    assert len(sim._processes) == 10
+    sim.run()
+    # The kernel must not accumulate finished processes across a long run.
+    assert len(sim._processes) == 0
+    assert list(sim.live_processes) == []
+
+
+def test_deadlock_report_names_survive_pruning():
+    sim = Simulator()
+    from repro.sim import SimEvent
+
+    never = SimEvent(sim, name="never")
+
+    def done():
+        yield Timeout(1.0)
+
+    def stuck():
+        yield never
+
+    sim.spawn(done(), name="finisher")
+    sim.spawn(stuck(), name="blocked")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run(check_deadlock=True)
+    # Pruning removes the finished process but the stuck one is still named.
+    assert "blocked" in str(excinfo.value)
+    assert "finisher" not in str(excinfo.value)
+
+
+def test_pending_events_counts_cancellations():
+    sim = Simulator()
+    calls = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_events() == 5
+    calls[0].cancel()
+    calls[3].cancel()
+    assert sim.pending_events() == 3
+    calls[3].cancel()  # idempotent: no double decrement
+    assert sim.pending_events() == 3
+    sim.run()
+    assert sim.pending_events() == 0
+
+
+def test_pending_events_tracks_dispatch():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+
+    sim.spawn(proc(), name="p")
+    counts = []
+    while sim.step():
+        counts.append(sim.pending_events())
+    assert counts[-1] == 0
+    # Each dispatched event left the live count consistent with the heap.
+    assert all(c >= 0 for c in counts)
