@@ -147,6 +147,27 @@ class DegradationController:
         elif self.level > LEVEL_PREFETCHED:
             self._degraded_at = self._sim.now
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic, JSON-able image of the ladder state."""
+        return {
+            "level": self.level,
+            "consecutive_failures": self._consecutive_failures,
+            "degraded_at": self._degraded_at,
+            "degrades": self.degrades,
+            "restores": self.restores,
+            "failures_total": self.failures_total,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate ladder state captured by :meth:`snapshot_state`."""
+        self.level = state["level"]
+        self._consecutive_failures = state["consecutive_failures"]
+        self._degraded_at = state["degraded_at"]
+        self.degrades = state["degrades"]
+        self.restores = state["restores"]
+        self.failures_total = state["failures_total"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<DegradationController {self.name!r} level={self.level} "

@@ -82,3 +82,23 @@ class MimdFlowControl:
     def backlog(self) -> int:
         """Dispatches currently blocked on the window."""
         return len(self._waiters)
+
+    def snapshot_state(self) -> dict:
+        """Deterministic, JSON-able image of the window state."""
+        return {
+            "window": self.window,
+            "in_flight": self.in_flight,
+            "throttle_events": self.throttle_events,
+            "backlog": self.backlog,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate the numeric window state from :meth:`snapshot_state`.
+
+        Parked waiters are continuations and are not restored here — the
+        deterministic-replay layer reconstructs them by re-running the
+        workload; direct restore targets a quiescent emulator.
+        """
+        self.window = state["window"]
+        self.in_flight = state["in_flight"]
+        self.throttle_events = state["throttle_events"]

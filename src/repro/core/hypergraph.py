@@ -25,6 +25,17 @@ def edge_key(sources: Iterable[str], destinations: Iterable[str]) -> EdgeKey:
     return (frozenset(sources), frozenset(destinations))
 
 
+def serialize_edge_key(key: EdgeKey) -> List[List[str]]:
+    """Deterministic JSON-able form of an :data:`EdgeKey` (checkpointing)."""
+    return [sorted(key[0]), sorted(key[1])]
+
+
+def deserialize_edge_key(data: Iterable[Iterable[str]]) -> EdgeKey:
+    """Inverse of :func:`serialize_edge_key`."""
+    sources, destinations = data
+    return (frozenset(sources), frozenset(destinations))
+
+
 class Hyperedge:
     """One data flow: source device(s) → destination device(s) plus stats.
 
@@ -100,6 +111,28 @@ class DirectedHypergraph:
     def edges_from(self, source: str) -> List[Hyperedge]:
         """All hyperedges with ``source`` in their tail set."""
         return [e for e in self._edges.values() if source in e.sources]
+
+    def has_edge(self, key: EdgeKey) -> bool:
+        return key in self._edges
+
+    def edge_keys(self) -> List[EdgeKey]:
+        """All live edge keys (insertion order)."""
+        return list(self._edges)
+
+    def remove_edges_touching(self, node: str) -> List[EdgeKey]:
+        """Drop every hyperedge involving ``node``; returns the removed keys.
+
+        Used by crash recovery to forget the learned flow history of a
+        re-admitted virtual device (its post-recovery behaviour should be
+        re-learned from scratch, not predicted from pre-crash patterns).
+        """
+        doomed = [
+            key for key, e in self._edges.items()
+            if node in e.sources or node in e.destinations
+        ]
+        for key in doomed:
+            del self._edges[key]
+        return doomed
 
     def __len__(self) -> int:
         return len(self._edges)

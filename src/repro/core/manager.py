@@ -18,7 +18,6 @@ Metric definitions (shared with §5.2):
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Dict, Generator, Optional
 
 from repro.core.coherence import CoherenceProtocol
@@ -73,14 +72,19 @@ class SvmManager:
         )
         self.chain_reactions = 0
         self._regions: Dict[int, SvmRegion] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self.allocs_total = 0
         self.frees_total = 0
+        # Optional runtime invariant auditor (see repro.recovery.audit).
+        # When installed it gets an inline visibility check on every read
+        # access, in addition to its periodic sim-hook sweep.
+        self.auditor = None
 
     # -- lifecycle (alloc / free of Figure 3) ------------------------------------
     def alloc(self, size: int) -> int:
         """Allocate a region; returns its unique 64-bit ID."""
-        region = SvmRegion(next(self._ids), size)
+        region = SvmRegion(self._next_id, size)
+        self._next_id += 1
         self._regions[region.region_id] = region
         self.twin.register_region(region.region_id)
         self.allocs_total += 1
@@ -152,6 +156,12 @@ class SvmManager:
                     self._sim.now, "svm.slack", region=region_id, slack=slack
                 )
             blocked = yield from self.protocol.begin_access_read(region, vdev, location)
+            if self.auditor is not None:
+                # "No access observes stale bytes": once the protocol has
+                # admitted the read, the reader's location must hold an
+                # up-to-date copy. Checked here (not in the periodic sweep)
+                # because mid-maintenance states are legal between accesses.
+                self.auditor.check_read_visibility(region, vdev, location)
             # The chain reaction of §3.3: mobile services schedule around
             # the assumption that SVM access is instantaneous. An
             # unexpected multi-ms block makes the caller miss its frame
@@ -261,6 +271,51 @@ class SvmManager:
         region = self.get(region_id)
         self._ensure_backing(region, location)
         yield from self.protocol.executor_before_read(region, vdev, location)
+
+    # -- checkpoint / restore (repro.recovery.snapshot) ---------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Deterministic, JSON-able image of all SVM bookkeeping.
+
+        Covers the region hashtable (full coherence state per region), the
+        ID allocator, and lifetime counters. Fences and the twin
+        hypergraphs snapshot themselves; :class:`repro.recovery.snapshot`
+        stitches the pieces into one checksummed document.
+        """
+        return {
+            "next_id": self._next_id,
+            "allocs_total": self.allocs_total,
+            "frees_total": self.frees_total,
+            "chain_reactions": self.chain_reactions,
+            "regions": {
+                str(region_id): region.state_dict()
+                for region_id, region in sorted(self._regions.items())
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any], fence_table: Any = None) -> None:
+        """Reinstate SVM state captured by :meth:`snapshot_state`.
+
+        Intended for a quiescent manager (fresh build or post-run): regions
+        are rebuilt from scratch, backing memory is re-allocated from the
+        location pools, and ``write_fence`` links are re-established through
+        ``fence_table`` (which must already be restored) when given.
+        """
+        for region in self._regions.values():
+            region.release_backing()
+        self._regions = {}
+        self._next_id = state["next_id"]
+        self.allocs_total = state["allocs_total"]
+        self.frees_total = state["frees_total"]
+        self.chain_reactions = state["chain_reactions"]
+        for key, region_state in state["regions"].items():
+            region = SvmRegion(int(key), region_state["size"])
+            region.load_state(region_state)
+            for location in region_state["backing"]:
+                self._ensure_backing(region, location)
+            fence_index = region_state["write_fence"]
+            if fence_index is not None and fence_table is not None:
+                region.write_fence = fence_table._slots.get(fence_index)
+            self._regions[region.region_id] = region
 
     # -- §5.2 overhead accounting -------------------------------------------------
     def memory_overhead_bytes(self) -> int:

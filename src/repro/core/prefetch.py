@@ -393,3 +393,76 @@ class PrefetchEngine:
         elapsed = self._sim.now - since
         self.suspension_time_ms += elapsed
         self._obs.registry.counter("prefetch.suspension_time_ms").inc(elapsed)
+
+    # -- crash recovery ----------------------------------------------------------
+    def reset_vdev_history(self, vdev: str) -> int:
+        """Drop failure/suspension history for flows involving ``vdev``.
+
+        Called when a crashed device is re-admitted: its pre-crash
+        mispredictions must not keep its flows suspended, and its flow keys
+        are about to be removed from the twin anyway. Returns the number of
+        flow entries cleared.
+        """
+        def touches(vkey: object) -> bool:
+            if not isinstance(vkey, tuple) or len(vkey) != 2:
+                return False
+            sources, destinations = vkey
+            return vdev in sources or vdev in destinations
+
+        doomed = {k for k in self._failures if touches(k)}
+        doomed |= {k for k in self._suspended if touches(k)}
+        for vkey in doomed:
+            self._failures.pop(vkey, None)
+            self._suspended.pop(vkey, None)
+            self._note_suspension_end(vkey)
+        return len(doomed)
+
+    # -- checkpointing -----------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Deterministic, JSON-able image of the engine's learned state."""
+        from repro.core.hypergraph import serialize_edge_key
+
+        def key_str(vkey: object) -> str:
+            return repr(serialize_edge_key(vkey))
+
+        return {
+            "stats": {
+                name: getattr(self.stats, name)
+                for name in sorted(vars(self.stats))
+            },
+            "failures": {
+                key_str(k): v for k, v in sorted(
+                    self._failures.items(), key=lambda kv: key_str(kv[0])
+                )
+            },
+            "suspended": {
+                key_str(k): v for k, v in sorted(
+                    self._suspended.items(), key=lambda kv: key_str(kv[0])
+                )
+            },
+            "suspension_time_ms": self.suspension_time_ms,
+            "max_bandwidth": dict(sorted(self._max_bandwidth.items())),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate learned state captured by :meth:`snapshot_state`.
+
+        Flow keys were serialized as ``repr`` of their JSON-able form;
+        ``ast.literal_eval`` (no arbitrary code execution) reverses that.
+        ``_suspended_since`` is wall-of-sim-clock bookkeeping for the
+        suspension-time instrument and intentionally restarts empty.
+        """
+        import ast
+
+        from repro.core.hypergraph import deserialize_edge_key
+
+        def parse_key(text: str) -> object:
+            return deserialize_edge_key(ast.literal_eval(text))
+
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self._failures = {parse_key(k): v for k, v in state["failures"].items()}
+        self._suspended = {parse_key(k): v for k, v in state["suspended"].items()}
+        self._suspended_since = {}
+        self.suspension_time_ms = state["suspension_time_ms"]
+        self._max_bandwidth = dict(state["max_bandwidth"])

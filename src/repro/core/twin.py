@@ -32,7 +32,12 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
-from repro.core.hypergraph import DirectedHypergraph, Hyperedge
+from repro.core.hypergraph import (
+    DirectedHypergraph,
+    Hyperedge,
+    deserialize_edge_key,
+    serialize_edge_key,
+)
 from repro.core.smoothing import ExponentialSmoothing
 from repro.errors import UnknownRegionError
 
@@ -295,6 +300,99 @@ class TwinHypergraphs:
             lines.append("  }")
         lines.append("}")
         return "\n".join(lines)
+
+    # -- crash recovery ---------------------------------------------------------
+    def reset_vdev_history(self, vdev: str) -> int:
+        """Forget everything learned about flows involving ``vdev``.
+
+        Virtual-layer edges touching the device are dropped, and regions
+        bound to those edges are unbound (their next finalized generation
+        re-binds them). Physical-layer edges are kept: locations outlive a
+        virtual device's crash. Returns the number of edges removed.
+        """
+        removed = set(self.virtual.remove_edges_touching(vdev))
+        for flow in self._flows.values():
+            if flow.vedge is not None and flow.vedge.key in removed:
+                flow.vedge = None
+                flow.pedge = None
+            if flow.gen_writer_vdev == vdev or vdev in flow.gen_readers:
+                self._reset_generation(flow)
+        return len(removed)
+
+    # -- checkpointing ----------------------------------------------------------
+    def region_ids(self) -> Set[int]:
+        """Keys of the region hashtable (for the bijection audit)."""
+        return set(self._flows)
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Deterministic, JSON-able image of both layers + the hashtable."""
+
+        def graph_state(graph: DirectedHypergraph) -> Dict[str, object]:
+            return {
+                "nodes": sorted(graph.nodes),
+                "edges": [
+                    {
+                        "key": serialize_edge_key(edge.key),
+                        "observations": edge.observations,
+                        "stats": {
+                            name: stat.state_dict()
+                            for name, stat in sorted(edge.stats.items())
+                        },
+                    }
+                    for edge in sorted(
+                        graph, key=lambda e: serialize_edge_key(e.key)
+                    )
+                ],
+            }
+
+        return {
+            "virtual": graph_state(self.virtual),
+            "physical": graph_state(self.physical),
+            "flows": {
+                str(region_id): {
+                    "vedge": None if f.vedge is None else serialize_edge_key(f.vedge.key),
+                    "pedge": None if f.pedge is None else serialize_edge_key(f.pedge.key),
+                    "gen_writer_vdev": f.gen_writer_vdev,
+                    "gen_writer_loc": f.gen_writer_loc,
+                    "gen_readers": sorted(f.gen_readers),
+                    "gen_reader_locs": sorted(f.gen_reader_locs),
+                    "gen_slack_samples": list(f.gen_slack_samples),
+                }
+                for region_id, f in sorted(self._flows.items())
+            },
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate both layers and the hashtable from a snapshot."""
+
+        def load_graph(graph: DirectedHypergraph, data: Dict[str, object]) -> None:
+            graph._edges.clear()
+            for node in data["nodes"]:
+                graph.add_node(node)
+            for entry in data["edges"]:
+                key = deserialize_edge_key(entry["key"])
+                edge = graph.edge(key[0], key[1])
+                edge.observations = entry["observations"]
+                for name, stat_state in entry["stats"].items():
+                    stat = ExponentialSmoothing()
+                    stat.load_state(stat_state)
+                    edge.stats[name] = stat
+
+        load_graph(self.virtual, state["virtual"])
+        load_graph(self.physical, state["physical"])
+        self._flows = {}
+        for key, entry in state["flows"].items():
+            flow = _FlowState()
+            if entry["vedge"] is not None:
+                flow.vedge = self.virtual.get_edge(deserialize_edge_key(entry["vedge"]))
+            if entry["pedge"] is not None:
+                flow.pedge = self.physical.get_edge(deserialize_edge_key(entry["pedge"]))
+            flow.gen_writer_vdev = entry["gen_writer_vdev"]
+            flow.gen_writer_loc = entry["gen_writer_loc"]
+            flow.gen_readers = set(entry["gen_readers"])
+            flow.gen_reader_locs = set(entry["gen_reader_locs"])
+            flow.gen_slack_samples = list(entry["gen_slack_samples"])
+            self._flows[int(key)] = flow
 
     # -- bookkeeping for §5.2's memory-overhead claim -------------------------
     def memory_overhead_bytes(self) -> int:

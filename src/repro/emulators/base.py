@@ -133,7 +133,7 @@ class StageResult:
 class _VirtualDevice:
     """One virtual device: its command queue and physical binding."""
 
-    __slots__ = ("name", "physical", "queue", "flow", "executor")
+    __slots__ = ("name", "physical", "queue", "flow", "executor", "outstanding", "crashes")
 
     def __init__(
         self,
@@ -147,6 +147,12 @@ class _VirtualDevice:
         self.queue = queue
         self.flow = flow
         self.executor = None
+        # Every dispatched-but-not-retired ExecCommand, in dispatch order
+        # (dict-as-ordered-set). Crash recovery aborts exactly this set —
+        # commands may sit in the queue, in a fired-but-undelivered get
+        # event, or on the executor's bench; this ledger sees them all.
+        self.outstanding: Dict[ExecCommand, None] = {}
+        self.crashes = 0
 
 
 class Emulator:
@@ -310,6 +316,24 @@ class Emulator:
         vdev.executor = self.sim.spawn(self._executor(vdev), name=f"exec:{name}")
         self._vdevs[name] = vdev
 
+    # -- crash recovery hooks (repro.recovery) --------------------------------
+    def respawn_executor(self, vdev_name: str) -> None:
+        """Re-admit a crashed virtual device with a fresh host executor.
+
+        The old executor process must already be dead (killed by the
+        recovery coordinator). Any GPU context the crashed device held is
+        forgotten so the next tenant pays an honest rebind.
+        """
+        vdev = self._vdev(vdev_name)
+        if vdev.executor is not None and vdev.executor.alive:
+            raise ConfigurationError(
+                f"executor for {vdev_name!r} is still alive; kill it first"
+            )
+        physical = vdev.physical
+        if self._gpu_context.get(physical.name) == vdev_name:
+            del self._gpu_context[physical.name]
+        vdev.executor = self.sim.spawn(self._executor(vdev), name=f"exec:{vdev_name}")
+
     # -- introspection -------------------------------------------------------
     @property
     def name(self) -> str:
@@ -319,6 +343,10 @@ class Emulator:
     def has_vdev(self, vdev: str) -> bool:
         """True when this emulator implements the named virtual device."""
         return vdev in self._vdevs
+
+    def vdev_names(self) -> List[str]:
+        """Names of the virtual devices this emulator implements."""
+        return list(self._vdevs)
 
     def physical_for(self, vdev: str) -> PhysicalDevice:
         try:
@@ -456,8 +484,10 @@ class Emulator:
             flow=flow,
         )
         commands.append(cmd)
+        device.outstanding[cmd] = None
         if self.config.ordering is OrderingMode.FENCES and write_regions:
             fence = self.fence_table.allocate()
+            fence.owner = vdev
             for region in write_regions:
                 region.write_fence = fence
                 region.pending_writer_location = location
@@ -540,6 +570,11 @@ class Emulator:
         exec_track = f"{vdev.name}/exec"
         while True:
             command = yield vdev.queue.get()
+            if isinstance(command, ExecCommand) and command.done.fired:
+                # Aborted by crash recovery while still travelling through
+                # the (since reset) queue — its completion was already
+                # accounted; executing it would double-fire ``done``.
+                continue
             if isinstance(command, WaitFenceCommand):
                 span = tracer.begin(
                     "fence.wait", exec_track, cat="fence", flow=command.flow
@@ -570,6 +605,7 @@ class Emulator:
                     )
                 command.done.fire(self.sim.now)
                 vdev.flow.complete()
+                vdev.outstanding.pop(command, None)
                 tracer.end(span, queue_delay=self.sim.now - command.dispatched_at)
                 if self.trace.wants("host.op_retired"):
                     self.trace.record(

@@ -66,3 +66,34 @@ class CapabilityError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or model was configured with invalid parameters."""
+
+
+class InvariantViolation(ReproError):
+    """The runtime auditor caught a coherence/ordering invariant breach.
+
+    Carries structured context so CI and the ``recover`` report can point at
+    the exact region/fence/edge that went wrong rather than a bare message.
+    """
+
+    def __init__(self, invariant: str, message: str, **context: object):
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.context = context
+
+
+class RecoveryError(ReproError):
+    """Device-crash recovery was asked to do something inconsistent
+    (unknown device, overlapping recoveries on one device)."""
+
+
+class SnapshotError(ReproError):
+    """Base class for checkpoint/restore failures."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot failed its checksum / framing check and was rejected."""
+
+
+class SnapshotMismatchError(SnapshotError):
+    """Deterministic replay reached the cut point in a different state
+    than the snapshot recorded — the run recipe and the snapshot disagree."""

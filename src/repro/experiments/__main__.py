@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments bench --jobs 4
     python -m repro.experiments observe --app ar --export trace.json \
         --metrics metrics.json
+    python -m repro.experiments recover [--quick] [--report audit.json]
 
 Each command prints the regenerated rows/series next to the paper's
 reference values. ``--quick`` shortens simulated durations and app counts
@@ -375,7 +376,8 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the vSoC paper's tables and figures.",
     )
-    parser.add_argument("experiment", choices=[*COMMANDS, "all", "observe", "bench"])
+    parser.add_argument("experiment",
+                        choices=[*COMMANDS, "all", "observe", "bench", "recover"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -401,6 +403,9 @@ def main(argv=None) -> int:
     observe_group.add_argument("--include-tracelog", action="store_true",
                                help="also digest legacy TraceLog records into "
                                     "the exported trace")
+    recover_group = parser.add_argument_group("recover options")
+    recover_group.add_argument("--report", metavar="PATH", default=None,
+                               help="write the recovery/audit JSON report here")
     args = parser.parse_args(argv)
     from repro.experiments import engine
 
@@ -425,6 +430,12 @@ def main(argv=None) -> int:
             metrics_path=args.metrics,
             seed=args.seed,
             include_tracelog=args.include_tracelog,
+        )
+    if args.experiment == "recover":
+        from repro.experiments.recover import cmd_recover
+
+        return cmd_recover(
+            quick=args.quick, report_path=args.report, seed=args.seed
         )
     if args.experiment == "all":
         for name, command in COMMANDS.items():

@@ -48,6 +48,30 @@ def default_chaos_plan() -> FaultPlan:
     )
 
 
+def crash_chaos_plan() -> FaultPlan:
+    """Two mid-frame device crashes: the codec early, the GPU later.
+
+    The codec crash tears the decode→render coherence flow (its regions
+    live in host memory); the GPU crash orphans render fences the display
+    executor waits on — together they exercise every arm of the recovery
+    state machine (abort, poison, quarantine, replay, re-admit).
+    """
+    return (
+        FaultPlan()
+        .crash_device(2_000.0, "codec", downtime_ms=400.0)
+        .crash_device(5_000.0, "gpu", downtime_ms=300.0)
+    )
+
+
+def crash_with_faults_plan() -> FaultPlan:
+    """Device crashes layered on the default bus/transport chaos."""
+    return (
+        default_chaos_plan()
+        .crash_device(2_200.0, "codec", downtime_ms=400.0)
+        .crash_device(6_000.0, "gpu", downtime_ms=300.0)
+    )
+
+
 @dataclass
 class ChaosResult:
     """One chaos run, digested."""
@@ -71,6 +95,14 @@ class ChaosResult:
     degrade_events: List[Tuple[float, int]] = field(default_factory=list)
     restore_events: List[Tuple[float, int]] = field(default_factory=list)
     trace: Optional[TraceLog] = None
+    # device-crash recovery accounting (zeros for plans without crashes)
+    crashes: int = 0
+    recoveries: int = 0
+    aborted_commands: int = 0
+    poisoned_fences: int = 0
+    quarantined_regions: int = 0
+    replayed_copies: int = 0
+    audit_violations: int = 0
 
     @property
     def entered_degraded(self) -> bool:
@@ -90,6 +122,7 @@ def run_chaos(
     app: Optional[App] = None,
     watchdog_margin: Optional[float] = 6.0,
     keep_trace: bool = False,
+    audit: bool = False,
 ) -> ChaosResult:
     """Run one app under one fault plan; fully deterministic per seed.
 
@@ -97,6 +130,8 @@ def run_chaos(
     ``FaultPlan()`` for the fault-free baseline (same harness, no
     injection). ``watchdog_margin`` arms the copy planner's per-operation
     deadline at ``margin × estimate``; ``None`` leaves watchdogs off.
+    ``audit=True`` installs the runtime invariant auditor (non-raising;
+    violations are counted into the result).
     """
     plan = plan if plan is not None else default_chaos_plan()
     app = app if app is not None else UhdVideoApp()
@@ -112,6 +147,12 @@ def run_chaos(
     injector = FaultInjector(sim, plan, seed=seed, trace=trace)
     if not plan.is_empty():
         injector.install(emulator)
+
+    auditor = None
+    if audit:
+        from repro.recovery.audit import install_auditor
+
+        auditor = install_auditor(emulator)
 
     if not app.install(sim, emulator):
         raise RuntimeError(f"app {app.name!r} failed to install on {emulator_name}")
@@ -143,6 +184,27 @@ def run_chaos(
         degrade_events=resilience.degrade_events(),
         restore_events=resilience.restore_events(),
         trace=trace if keep_trace else None,
+        crashes=resilience.crashes,
+        recoveries=resilience.recoveries,
+        aborted_commands=(
+            injector.coordinator.stats.aborted_commands
+            if injector.coordinator is not None
+            else 0
+        ),
+        poisoned_fences=(
+            injector.coordinator.stats.poisoned_fences
+            if injector.coordinator is not None
+            else 0
+        ),
+        quarantined_regions=(
+            injector.coordinator.stats.quarantined_regions
+            if injector.coordinator is not None
+            else 0
+        ),
+        replayed_copies=resilience.replayed_copies,
+        audit_violations=(
+            len(auditor.violations) if auditor is not None else 0
+        ),
     )
 
 
@@ -166,6 +228,7 @@ def run_fault_classes(
         "transport-drops": FaultPlan().transport_faults(
             2_500.0, 4_000.0, drop_probability=0.25
         ),
+        "device-crash": crash_chaos_plan(),
         "full-chaos": default_chaos_plan(),
     }
     return {

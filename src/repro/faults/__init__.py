@@ -10,6 +10,7 @@ from repro.faults.injector import FaultInjector, InjectionStats
 from repro.faults.plan import (
     BusLoadEvent,
     CopyFaultWindow,
+    DeviceCrashEvent,
     DeviceResetEvent,
     DeviceStallEvent,
     FaultPlan,
@@ -22,6 +23,7 @@ __all__ = [
     "InjectionStats",
     "BusLoadEvent",
     "CopyFaultWindow",
+    "DeviceCrashEvent",
     "DeviceStallEvent",
     "DeviceResetEvent",
     "TransportFaultWindow",

@@ -40,6 +40,7 @@ class InjectionStats:
         self.transport_delays = 0
         self.stalls = 0
         self.resets = 0
+        self.crashes = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -49,6 +50,7 @@ class InjectionStats:
             "transport_delays": self.transport_delays,
             "stalls": self.stalls,
             "resets": self.resets,
+            "crashes": self.crashes,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -80,6 +82,9 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self.stats = InjectionStats()
         self._installed = False
+        #: Set by :meth:`install_crashes` when the plan contains device
+        #: crashes — the coordinator that quarantines/re-admits the victims.
+        self.coordinator: Optional[Any] = None
 
     # -- top-level install ---------------------------------------------------
     def install(self, emulator: Any) -> None:
@@ -87,6 +92,7 @@ class FaultInjector:
         if self._installed:
             raise ConfigurationError("this injector is already installed")
         self._installed = True
+        self.plan.validate()
         machine = emulator.machine
         buses: Dict[str, Bus] = {}
         for bus in (machine.memctl, machine.pcie, machine.boundary, emulator.planner.boundary):
@@ -96,6 +102,7 @@ class FaultInjector:
         self._install_copy_hooks(buses.values())
         self.install_devices(machine.devices)
         self.install_transport(emulator.transport)
+        self.install_crashes(emulator)
 
     # -- piecemeal installs (machine-level tests) ------------------------------
     def install_buses(self, buses: Iterable[Bus]) -> None:
@@ -143,6 +150,28 @@ class FaultInjector:
             return None
 
         transport.fault_hook = hook
+
+    def install_crashes(self, emulator: Any) -> None:
+        """Schedule the plan's virtual-device crashes via a coordinator.
+
+        Crash events consume no RNG — their timing and victim are fully
+        declarative — so plans without crashes keep the exact random-draw
+        sequence they had before this feature existed.
+        """
+        if not self.plan.crashes:
+            return
+        from repro.recovery.coordinator import RecoveryCoordinator
+
+        known = set(emulator.vdev_names())
+        for crash in self.plan.crashes:
+            if crash.vdev not in known:
+                raise ConfigurationError(
+                    f"fault plan crashes unknown virtual device {crash.vdev!r}; "
+                    f"known: {sorted(known)}"
+                )
+        self.coordinator = RecoveryCoordinator(emulator, trace=self.trace)
+        for crash in self.plan.crashes:
+            self._sim.schedule(self._delay_until(crash.time_ms), self._do_crash, crash)
 
     # -- bus internals --------------------------------------------------------
     def _install_bus_events(self, buses: Dict[str, Bus]) -> None:
@@ -211,6 +240,11 @@ class FaultInjector:
         device.inject_reset(downtime_ms)
         self.stats.resets += 1
         self._record("fault.device_reset", device=device.name, downtime=downtime_ms)
+
+    def _do_crash(self, crash: Any) -> None:
+        self.stats.crashes += 1
+        self._record("fault.device_crash", vdev=crash.vdev, downtime=crash.downtime_ms)
+        self.coordinator.crash(crash.vdev, crash.downtime_ms)
 
     # -- helpers ---------------------------------------------------------------
     def _delay_until(self, time_ms: float) -> float:

@@ -70,6 +70,22 @@ class DeviceResetEvent:
 
 
 @dataclass(frozen=True)
+class DeviceCrashEvent:
+    """At ``time_ms``, kill virtual device ``vdev`` mid-frame.
+
+    Unlike a :class:`DeviceResetEvent` (which wedges a *physical* engine),
+    a crash kills the *virtual* device's host executor outright: its command
+    queue is lost, outstanding fences must be poisoned, and the
+    :class:`~repro.recovery.coordinator.RecoveryCoordinator` re-admits the
+    device after ``downtime_ms``.
+    """
+
+    time_ms: float
+    vdev: str
+    downtime_ms: float
+
+
+@dataclass(frozen=True)
 class TransportFaultWindow:
     """During [start_ms, end_ms), kicks drop or stretch with given odds."""
 
@@ -100,6 +116,7 @@ class FaultPlan:
         self.stalls: List[DeviceStallEvent] = []
         self.resets: List[DeviceResetEvent] = []
         self.transport_windows: List[TransportFaultWindow] = []
+        self.crashes: List[DeviceCrashEvent] = []
 
     # -- bus degradation -----------------------------------------------------
     def set_bus_load(self, time_ms: float, bus: str, load: float) -> "FaultPlan":
@@ -177,6 +194,16 @@ class FaultPlan:
         self.resets.append(DeviceResetEvent(time_ms, device, downtime_ms))
         return self
 
+    def crash_device(self, time_ms: float, vdev: str, downtime_ms: float) -> "FaultPlan":
+        """Kill a *virtual* device's executor mid-frame (recovery drill)."""
+        _check_time("crash time", time_ms)
+        if not math.isfinite(downtime_ms) or downtime_ms <= 0:
+            raise ConfigurationError(
+                f"crash downtime must be finite and > 0, got {downtime_ms}"
+            )
+        self.crashes.append(DeviceCrashEvent(time_ms, vdev, downtime_ms))
+        return self
+
     # -- transport faults ----------------------------------------------------
     def transport_faults(
         self,
@@ -203,6 +230,104 @@ class FaultPlan:
         )
         return self
 
+    # -- whole-plan validation ------------------------------------------------
+    def validate(self) -> "FaultPlan":
+        """Cross-event consistency checks, run once the plan is complete.
+
+        Per-field validation happens in each builder call; this pass catches
+        the *relationships* a finished timeline must satisfy — ambiguous
+        same-instant bus loads, overlapping fault windows on one target, and
+        out-of-chronological-order event lists (a plan assembled out of
+        order almost always means two builders disagreed about units).
+        Raises :class:`ConfigurationError` naming the offending window.
+        The injector calls this from ``install``; call it directly to fail
+        earlier. Returns ``self`` so it chains.
+        """
+        self._check_ordered("bus_loads", self.bus_loads, lambda e: (e.bus, e.time_ms))
+        self._check_ordered("copy_faults", self.copy_windows, lambda w: (w.bus or "*", w.start_ms))
+        self._check_ordered("stalls", self.stalls, lambda s: (s.device, s.time_ms))
+        self._check_ordered("resets", self.resets, lambda r: (r.device, r.time_ms))
+        self._check_ordered("crashes", self.crashes, lambda c: (c.vdev, c.time_ms))
+        self._check_ordered("transport_faults", self.transport_windows, lambda w: (None, w.start_ms))
+
+        seen_loads = {}
+        for event in self.bus_loads:
+            key = (event.bus, event.time_ms)
+            prior = seen_loads.get(key)
+            if prior is not None and prior.load != event.load:
+                raise ConfigurationError(
+                    f"ambiguous bus loads at t={event.time_ms} on {event.bus!r}: "
+                    f"{prior.load} vs {event.load}"
+                )
+            seen_loads[key] = event
+
+        self._check_window_overlap(
+            "copy-fault",
+            self.copy_windows,
+            lambda w: w.bus,
+            lambda w: (w.start_ms, w.end_ms),
+            wildcard_none=True,
+        )
+        self._check_window_overlap(
+            "transport-fault",
+            self.transport_windows,
+            lambda w: None,
+            lambda w: (w.start_ms, w.end_ms),
+            wildcard_none=False,
+        )
+        device_windows = (
+            [("stall", s.device, s.time_ms, s.time_ms + s.duration_ms, s) for s in self.stalls]
+            + [("reset", r.device, r.time_ms, r.time_ms + r.downtime_ms, r) for r in self.resets]
+        )
+        device_windows.sort(key=lambda entry: (entry[1], entry[2], entry[3]))
+        for (kind_a, dev_a, start_a, end_a, ev_a), (kind_b, dev_b, start_b, end_b, ev_b) in zip(
+            device_windows, device_windows[1:]
+        ):
+            if dev_a == dev_b and start_b < end_a:
+                raise ConfigurationError(
+                    f"overlapping {kind_a}/{kind_b} windows on device {dev_a!r}: "
+                    f"{ev_a} overlaps {ev_b}"
+                )
+        crash_windows = sorted(
+            self.crashes, key=lambda c: (c.vdev, c.time_ms)
+        )
+        for a, b in zip(crash_windows, crash_windows[1:]):
+            if a.vdev == b.vdev and b.time_ms < a.time_ms + a.downtime_ms:
+                raise ConfigurationError(
+                    f"crash at t={b.time_ms} on vdev {b.vdev!r} lands inside the "
+                    f"recovery downtime of {a} — one recovery at a time per device"
+                )
+        return self
+
+    @staticmethod
+    def _check_ordered(label, events, key):
+        """Events for one target must be appended in chronological order."""
+        last = {}
+        for event in events:
+            target, time_ms = key(event)
+            prior = last.get(target)
+            if prior is not None and time_ms < prior:
+                raise ConfigurationError(
+                    f"{label} out of order: {event} starts at {time_ms} ms but an "
+                    f"earlier entry for the same target already starts at {prior} ms"
+                )
+            last[target] = time_ms
+
+    @staticmethod
+    def _check_window_overlap(label, windows, target_of, span_of, wildcard_none):
+        """No two windows on one target (None = every target) may overlap."""
+        for i, a in enumerate(windows):
+            for b in windows[i + 1:]:
+                ta, tb = target_of(a), target_of(b)
+                if ta != tb and not (wildcard_none and (ta is None or tb is None)):
+                    continue
+                start_a, end_a = span_of(a)
+                start_b, end_b = span_of(b)
+                if start_a < end_b and start_b < end_a:
+                    raise ConfigurationError(
+                        f"overlapping {label} windows: {a} overlaps {b}"
+                    )
+
     # -- introspection --------------------------------------------------------
     def last_fault_time(self) -> float:
         """When the plan's last injected disturbance ends (ms).
@@ -215,6 +340,7 @@ class FaultPlan:
         times += [s.time_ms + s.duration_ms for s in self.stalls]
         times += [r.time_ms + r.downtime_ms for r in self.resets]
         times += [w.end_ms for w in self.transport_windows]
+        times += [c.time_ms + c.downtime_ms for c in self.crashes]
         return max(times, default=0.0)
 
     def is_empty(self) -> bool:
@@ -224,4 +350,5 @@ class FaultPlan:
             or self.stalls
             or self.resets
             or self.transport_windows
+            or self.crashes
         )

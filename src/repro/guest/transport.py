@@ -123,3 +123,24 @@ class VirtioTransport:
             return 0.0
         total = self.kicks * self.kick_cost + self.commands * self.per_command_cost
         return total / self.commands
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Deterministic, JSON-able image of the transport counters."""
+        return {
+            "kicks": self.kicks,
+            "commands": self.commands,
+            "kick_attempts": self.kick_attempts,
+            "kicks_dropped": self.kicks_dropped,
+            "kicks_delayed": self.kicks_delayed,
+            "delay_total_ms": self.delay_total_ms,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate counters captured by :meth:`snapshot_state`."""
+        self.kicks = state["kicks"]
+        self.commands = state["commands"]
+        self.kick_attempts = state["kick_attempts"]
+        self.kicks_dropped = state["kicks_dropped"]
+        self.kicks_delayed = state["kicks_delayed"]
+        self.delay_total_ms = state["delay_total_ms"]

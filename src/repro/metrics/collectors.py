@@ -157,6 +157,24 @@ class ResilienceStats:
         return self.trace.count("prefetch.failed")
 
     @property
+    def crashes(self) -> int:
+        """Virtual-device crashes the recovery coordinator handled."""
+        return self.trace.count("recovery.crash")
+
+    @property
+    def recoveries(self) -> int:
+        """Crashed devices successfully re-admitted (``recovery.readmit``)."""
+        return self.trace.count("recovery.readmit")
+
+    @property
+    def replayed_copies(self) -> int:
+        return self.trace.count("recovery.replay_copy")
+
+    @property
+    def audit_violations(self) -> int:
+        return self.trace.count("audit.violation")
+
+    @property
     def degrades(self) -> int:
         return self.trace.count("coherence.degrade")
 
@@ -202,6 +220,10 @@ class ResilienceStats:
             "prefetch_failures": self.prefetch_failures,
             "degrades": self.degrades,
             "restores": self.restores,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "replayed_copies": self.replayed_copies,
+            "audit_violations": self.audit_violations,
         }
 
     def to_registry(self, registry) -> None:
@@ -212,3 +234,7 @@ class ResilienceStats:
         registry.counter("resilience.prefetch_failures").inc(self.prefetch_failures)
         registry.counter("resilience.degrades").inc(self.degrades)
         registry.counter("resilience.restores").inc(self.restores)
+        registry.counter("resilience.crashes").inc(self.crashes)
+        registry.counter("resilience.recoveries").inc(self.recoveries)
+        registry.counter("resilience.replayed_copies").inc(self.replayed_copies)
+        registry.counter("audit.violations_total").inc(self.audit_violations)

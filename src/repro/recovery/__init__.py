@@ -1,0 +1,38 @@
+"""Crash-consistent checkpoint/restore, crash recovery, and invariants.
+
+Three cooperating pieces (ISSUE 4):
+
+* :mod:`repro.recovery.snapshot` — versioned, checksummed, deterministic
+  :class:`Snapshot` of full emulator state, with a replay-based restore
+  that guarantees bit-identical continuation;
+* :mod:`repro.recovery.coordinator` — the :class:`RecoveryCoordinator`
+  that quarantines and re-admits virtual devices killed mid-frame by a
+  :class:`~repro.faults.plan.DeviceCrashEvent`;
+* :mod:`repro.recovery.audit` — the :class:`InvariantAuditor` sim hook
+  asserting coherence/ordering invariants at runtime.
+"""
+
+from repro.recovery.audit import (
+    DEFAULT_AUDIT_INTERVAL_MS,
+    InvariantAuditor,
+    install_auditor,
+)
+from repro.recovery.coordinator import RecoveryCoordinator, RecoveryStats
+from repro.recovery.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    Snapshot,
+    canonical_json,
+    state_digest,
+)
+
+__all__ = [
+    "Snapshot",
+    "SNAPSHOT_FORMAT_VERSION",
+    "canonical_json",
+    "state_digest",
+    "RecoveryCoordinator",
+    "RecoveryStats",
+    "InvariantAuditor",
+    "install_auditor",
+    "DEFAULT_AUDIT_INTERVAL_MS",
+]

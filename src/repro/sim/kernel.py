@@ -167,8 +167,38 @@ class Process(Waitable):
     def _start(self) -> None:
         self._step(None, None)
 
+    def kill(self) -> None:
+        """Terminate the process immediately (device-crash recovery).
+
+        ``GeneratorExit`` propagates through the ``yield from`` chain, so
+        ``try/finally`` cleanup (e.g. releasing a physical device's
+        execution mutex mid-``run_op``) runs exactly as it would on normal
+        completion. Joined waiters observe a ``None`` return value, not an
+        exception — a killed process is an administrative act, not a
+        failure, so it never routes through ``_note_failure``.
+
+        Waitable callbacks the process already registered (a parked queue
+        get, a pending timeout) may still fire afterwards; the ``alive``
+        guard at the top of :meth:`_step` makes them no-ops. Idempotent.
+        """
+        if not self.alive:
+            return
+        try:
+            self._gen.close()
+        finally:
+            self.alive = False
+            self.value = None
+            self.exception = None
+            callbacks, self._callbacks = self._callbacks, []
+            for fn in callbacks:
+                self._schedule(0.0, fn, None, None)
+            self._sim._processes.pop(self, None)
+
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         """Advance the generator by one yield, wiring up the next waitable."""
+        if not self.alive:
+            # A stale waitable callback for a killed process: drop it.
+            return
         sim = self._sim
         hooks = sim._hooks
         if hooks:

@@ -275,3 +275,24 @@ class FifoQueue:
             self._items.append(putter.value)
             putter.value = None
             putter.fire(None)
+
+    def reset(self) -> List[Any]:
+        """Flush the queue for device-crash recovery; returns the lost items.
+
+        Everything pending is returned to the caller so it can be cancelled:
+        queued items plus the items of parked (blocked) putters. Parked
+        putters are woken — their put "succeeded" into a queue whose contents
+        are about to be discarded, which matches a real device dropping its
+        ring buffer. Outstanding getter events are dropped without firing:
+        they belong to a killed executor, and letting them linger would
+        silently swallow the first items put after recovery.
+        """
+        lost: List[Any] = list(self._items)
+        self._items.clear()
+        while self._putters:
+            putter = self._putters.popleft()
+            lost.append(putter.value)
+            putter.value = None
+            putter.fire(None)
+        self._getters.clear()
+        return lost

@@ -12,6 +12,7 @@ import pytest
 from repro.core.degradation import LEVEL_GUEST_ROUNDTRIP, LEVEL_PREFETCHED
 from repro.experiments.chaos import run_chaos
 from repro.faults import FaultPlan
+from repro.metrics.collectors import ResilienceStats
 
 DURATION_MS = 6_000.0
 
@@ -100,3 +101,64 @@ def test_relentless_copy_faults_escalate_to_guest_roundtrip():
     restores = trace.of_kind("coherence.restore")
     assert restores and restores[-1]["level"] == LEVEL_PREFETCHED
     assert result.presented > 0
+
+
+# -- device-crash recovery (ISSUE 4) -----------------------------------------
+
+def _crash_plan() -> FaultPlan:
+    """A codec crash and a GPU crash, both mid-run, both recoverable."""
+    return (
+        FaultPlan()
+        .crash_device(1_500.0, "codec", downtime_ms=400.0)
+        .crash_device(3_000.0, "gpu", downtime_ms=300.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def crash_run():
+    return run_chaos(
+        duration_ms=5_000.0, seed=0, plan=_crash_plan(), keep_trace=True, audit=True
+    )
+
+
+def test_device_crash_run_completes_and_readmits_every_device(crash_run):
+    # The sim reaching the full duration with frames still presenting after
+    # the second crash is the no-deadlock property: every waiter of the
+    # dead devices' fences saw signalled-or-poisoned.
+    assert crash_run.crashes == 2
+    assert crash_run.recoveries == 2
+    assert crash_run.presented > 0
+    # Frames keep presenting after the last recovery completes.
+    assert crash_run.steady_fps > 0
+    readmits = crash_run.trace.of_kind("recovery.readmit")
+    assert len(readmits) == 2
+    # Re-admission happens no earlier than crash time + downtime.
+    assert readmits[0].time >= 1_500.0 + 400.0
+    assert readmits[1].time >= 3_000.0 + 300.0
+
+
+def test_device_crash_frame_drop_is_bounded(crash_run, baseline_run):
+    # Losing two devices for ~700 ms combined must not halve the run's FPS.
+    assert crash_run.fps >= baseline_run.fps / 2.0
+
+
+def test_device_crash_counters_flow_into_resilience_stats(crash_run):
+    stats = ResilienceStats(crash_run.trace)
+    summary = stats.summary()
+    assert summary["crashes"] == 2
+    assert summary["recoveries"] == 2
+    assert stats.fault_counts().get("fault.device_crash") == 2
+    # The recovery state machine demonstrably ran end to end.
+    assert crash_run.trace.count("recovery.crash") == 2
+    assert crash_run.trace.count("recovery.readmit") == 2
+
+
+def test_device_crash_run_stays_invariant_clean(crash_run):
+    assert crash_run.audit_violations == 0
+
+
+def test_device_crash_run_is_deterministic():
+    a = run_chaos(duration_ms=4_000.0, seed=5, plan=_crash_plan(), keep_trace=True)
+    b = run_chaos(duration_ms=4_000.0, seed=5, plan=_crash_plan(), keep_trace=True)
+    assert _trace_tuples(a) == _trace_tuples(b)
+    assert a.fps == b.fps
