@@ -5,9 +5,10 @@ Usage::
     python -m repro.experiments table2
     python -m repro.experiments fig10 [--quick] [--jobs 4]
     python -m repro.experiments all --quick --jobs 4
-    python -m repro.experiments bench --jobs 4
+    python -m repro.experiments bench --jobs 4 [--check]
     python -m repro.experiments observe --app ar --export trace.json \
         --metrics metrics.json
+    python -m repro.experiments dashboard --out report.html
     python -m repro.experiments recover [--quick] [--report audit.json]
 
 Each command prints the regenerated rows/series next to the paper's
@@ -16,8 +17,11 @@ reference values. ``--quick`` shortens simulated durations and app counts
 over N worker processes and ``--no-cache`` disables the on-disk run cache
 (both apply to every command). ``observe`` runs one app with the
 observability stack enabled and exports a Perfetto-compatible trace plus
-a metrics/self-profile JSON; ``bench`` measures the engine itself and
-writes ``BENCH_engine.json`` (both are excluded from ``all``).
+a metrics/self-profile JSON; ``bench`` measures the engine itself, writes
+``BENCH_engine.json``, appends to ``BENCH_history.jsonl`` and — with
+``--check`` — gates on the history's EWMA baselines; ``dashboard`` sweeps
+the telemetry grid and renders a self-contained HTML report (all three are
+excluded from ``all``).
 """
 
 from __future__ import annotations
@@ -377,16 +381,32 @@ def main(argv=None) -> int:
         description="Regenerate the vSoC paper's tables and figures.",
     )
     parser.add_argument("experiment",
-                        choices=[*COMMANDS, "all", "observe", "bench", "recover"])
+                        choices=[*COMMANDS, "all", "observe", "bench",
+                                 "dashboard", "recover"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="fan engine-backed sweeps over N worker processes")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk run cache (.repro-cache/)")
+    parser.add_argument("--history", metavar="PATH", default=None,
+                        help="bench-history JSONL for the regression sentinel "
+                             "(default BENCH_history.jsonl; bench/dashboard)")
     bench_group = parser.add_argument_group("bench options")
-    bench_group.add_argument("--out", metavar="PATH", default="BENCH_engine.json",
-                             help="where bench writes its JSON report")
+    bench_group.add_argument("--out", metavar="PATH", default=None,
+                             help="output path (bench: BENCH_engine.json; "
+                                  "dashboard: report.html)")
+    bench_group.add_argument("--check", action="store_true",
+                             help="exit nonzero when a metric regresses "
+                                  "beyond tolerance vs the EWMA baseline")
+    bench_group.add_argument("--tolerance", type=float, default=None,
+                             metavar="FRAC",
+                             help="relative regression tolerance "
+                                  "(default 0.25)")
+    dashboard_group = parser.add_argument_group("dashboard options")
+    dashboard_group.add_argument("--snapshot", metavar="PATH", default=None,
+                                 help="also write the canonical fleet "
+                                      "aggregate JSON here")
     observe_group = parser.add_argument_group("observe options")
     observe_group.add_argument("--app", default="ar",
                                help="workload to observe (ar/video/camera/livestream)")
@@ -403,6 +423,11 @@ def main(argv=None) -> int:
     observe_group.add_argument("--include-tracelog", action="store_true",
                                help="also digest legacy TraceLog records into "
                                     "the exported trace")
+    observe_group.add_argument("--reservoir", type=int, default=None,
+                               metavar="N",
+                               help="per-instrument sample retention (gauge "
+                                    "timelines / histogram reservoirs; "
+                                    "default 512)")
     recover_group = parser.add_argument_group("recover options")
     recover_group.add_argument("--report", metavar="PATH", default=None,
                                help="write the recovery/audit JSON report here")
@@ -414,8 +439,20 @@ def main(argv=None) -> int:
     if args.experiment == "bench":
         from repro.experiments.bench import cmd_bench
 
-        return cmd_bench(jobs=args.jobs, out_path=args.out, quick=args.quick,
-                         cache=not args.no_cache)
+        return cmd_bench(jobs=args.jobs,
+                         out_path=args.out or "BENCH_engine.json",
+                         quick=args.quick, cache=not args.no_cache,
+                         check=args.check, history_path=args.history,
+                         tolerance=args.tolerance)
+    if args.experiment == "dashboard":
+        from repro.experiments.dashboard import cmd_dashboard
+
+        return cmd_dashboard(out_path=args.out or "report.html",
+                             snapshot_path=args.snapshot,
+                             history_path=args.history,
+                             quick=args.quick, jobs=args.jobs,
+                             cache=not args.no_cache,
+                             seed=args.seed)
     if args.experiment == "observe":
         from repro.experiments.observe import DEFAULT_DURATION_MS, cmd_observe
 
@@ -430,6 +467,7 @@ def main(argv=None) -> int:
             metrics_path=args.metrics,
             seed=args.seed,
             include_tracelog=args.include_tracelog,
+            reservoir=args.reservoir,
         )
     if args.experiment == "recover":
         from repro.experiments.recover import cmd_recover

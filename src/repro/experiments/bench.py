@@ -18,9 +18,12 @@ Three measurements, from the inside out:
 Usage::
 
     python -m repro.experiments bench --jobs 4 [--quick] [--out PATH]
+    python -m repro.experiments bench --check [--history PATH] [--tolerance F]
 
 ``validate_bench_schema`` is the single source of truth for the JSON's
-shape; CI calls it against the generated artifact.
+shape; CI calls it against the generated artifact. Every run appends its
+headline metrics to ``BENCH_history.jsonl``; ``--check`` gates the run on
+the history's EWMA baselines (see :mod:`repro.obs.baseline`).
 """
 
 from __future__ import annotations
@@ -195,7 +198,12 @@ def bench_suite(jobs: int, duration_ms: float = 4_000.0, per_category: int = 1,
 
         suite: Dict[str, Any] = {
             "specs": len(specs),
-            "jobs": jobs,
+            # "jobs" is what the sweep *got*; requested vs effective make an
+            # oversubscribed host visible (a 1-CPU runner asked for --jobs 4
+            # used to report a meaningless 0.3x "speedup").
+            "jobs": parallel.effective_jobs,
+            "jobs_requested": jobs,
+            "jobs_effective": parallel.effective_jobs,
             "serial_s": round(serial.wall_s, 4),
             "parallel_s": round(parallel.wall_s, 4),
             "parallel_speedup": round(serial.wall_s / parallel.wall_s, 3)
@@ -276,6 +284,14 @@ def validate_bench_schema(data: Any) -> List[str]:
             where = f"suites.{name}"
             need(suite, "specs", int, where)
             need(suite, "jobs", int, where)
+            requested = need(suite, "jobs_requested", int, where)
+            effective = need(suite, "jobs_effective", int, where)
+            if isinstance(requested, int) and isinstance(effective, int):
+                if effective < 1:
+                    problems.append(f"{where}.jobs_effective: must be >= 1")
+                if effective > max(requested, 1):
+                    problems.append(f"{where}.jobs_effective: {effective} "
+                                    f"exceeds requested {requested}")
             need(suite, "serial_s", (int, float), where)
             need(suite, "parallel_s", (int, float), where)
             identical = need(suite, "parallel_identical", bool, where)
@@ -291,8 +307,22 @@ def validate_bench_schema(data: Any) -> List[str]:
 
 
 def cmd_bench(jobs: Optional[int] = None, out_path: str = "BENCH_engine.json",
-              quick: bool = False, cache: bool = True) -> int:
-    """CLI entry point: run the benchmarks, print and write the report."""
+              quick: bool = False, cache: bool = True,
+              check: bool = False, history_path: Optional[str] = None,
+              tolerance: Optional[float] = None) -> int:
+    """CLI entry point: run the benchmarks, print and write the report.
+
+    With ``check``, the report is judged against the EWMA baselines of the
+    recorded history *before* being appended to it; a regression verdict
+    turns into a nonzero exit code (the CI gate). Without ``check`` the run
+    is still appended, so the history grows either way.
+    """
+    from repro.obs.baseline import (
+        DEFAULT_HISTORY_PATH,
+        DEFAULT_TOLERANCE,
+        RegressionSentinel,
+    )
+
     report = run_bench(jobs=jobs, quick=quick, warm=cache)
     problems = validate_bench_schema(report)
     kernel = report["kernel"]
@@ -304,7 +334,8 @@ def cmd_bench(jobs: Optional[int] = None, out_path: str = "BENCH_engine.json",
           f"({report['single_run']['app']} on vSoC, "
           f"{report['single_run']['duration_ms']:.0f} sim-ms)")
     print(f"Suite ({suite['specs']} specs): serial {suite['serial_s']:.2f}s, "
-          f"parallel x{suite['jobs']} {suite['parallel_s']:.2f}s "
+          f"parallel x{suite['jobs_effective']} "
+          f"(requested {suite['jobs_requested']}) {suite['parallel_s']:.2f}s "
           f"(speedup {suite['parallel_speedup']}), "
           f"identical={suite['parallel_identical']}")
     if suite["warm_cache_hit_rate"] is not None:
@@ -314,8 +345,26 @@ def cmd_bench(jobs: Optional[int] = None, out_path: str = "BENCH_engine.json",
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"Wrote {out_path}")
+
+    sentinel = RegressionSentinel(
+        path=history_path or DEFAULT_HISTORY_PATH,
+        tolerance=tolerance if tolerance is not None else DEFAULT_TOLERANCE,
+    )
+    verdict = sentinel.check(report)
+    sentinel.append(report, note="quick" if quick else None)
+    print(f"Sentinel ({verdict.history_len} prior runs, "
+          f"tolerance ±{100 * sentinel.tolerance:.0f}%):")
+    for v in verdict.verdicts:
+        print(f"  {v.describe()}")
+    if not verdict.ok:
+        print(f"REGRESSION: {len(verdict.regressions)} metric(s) beyond "
+              "tolerance" + ("" if check else " (advisory; rerun with --check "
+                             "to gate on this)"))
+
     if problems:
         for problem in problems:
             print(f"SCHEMA PROBLEM: {problem}")
         return 1
+    if check and not verdict.ok:
+        return 2
     return 0

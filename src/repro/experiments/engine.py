@@ -58,6 +58,10 @@ CACHE_FORMAT = 1
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Set to any non-empty value to skip the worker-count CPU clamp (the
+#: pool-determinism tests use it to exercise a real pool on small hosts).
+OVERSUBSCRIBE_ENV = "REPRO_ENGINE_OVERSUBSCRIBE"
+
 
 # ---------------------------------------------------------------------------
 # Specs
@@ -81,6 +85,8 @@ class RunSpec:
     trace_kinds: Optional[Tuple[str, ...]] = None
     emulator_factory: Optional[str] = None
     emulator_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Capture a TelemetrySnapshot in the worker (see repro.obs.fleet).
+    telemetry: bool = False
 
     @property
     def app_name(self) -> str:
@@ -158,10 +164,16 @@ class StatsSummary:
 
 @dataclass(frozen=True)
 class RunResult:
-    """What one :class:`RunSpec` produces (and what the cache stores)."""
+    """What one :class:`RunSpec` produces (and what the cache stores).
+
+    ``telemetry`` is the worker's :class:`~repro.obs.fleet.TelemetrySnapshot`
+    when the spec asked for one — cached alongside the result, so a
+    warm-cache rerun replays telemetry bit-for-bit without simulating.
+    """
 
     result: Any  # AppResult
     stats: Optional[StatsSummary]
+    telemetry: Optional[Any] = None  # TelemetrySnapshot
 
 
 # ---------------------------------------------------------------------------
@@ -307,20 +319,29 @@ def execute_spec(spec: Spec) -> Any:
         seed=spec.seed,
         trace_kinds=list(spec.trace_kinds) if spec.trace_kinds is not None else None,
         factory=factory,
+        telemetry=spec.telemetry,
     )
     stats = StatsSummary.from_stats(run.stats) if run.stats is not None else None
-    return RunResult(result=run.result, stats=stats)
+    return RunResult(result=run.result, stats=stats, telemetry=run.telemetry)
 
 
 @dataclass
 class EngineReport:
-    """One :func:`run_many` invocation: ordered results + cache accounting."""
+    """One :func:`run_many` invocation: ordered results + cache accounting.
+
+    ``jobs`` is what the caller *requested*; ``effective_jobs`` is the
+    worker count actually usable after clamping to the host's available
+    CPUs — on a 1-CPU box a ``--jobs 32`` sweep reports ``effective_jobs
+    == 1``, so downstream consumers (the bench payload) can't publish a
+    misleading "parallel" number.
+    """
 
     results: List[Any]
     cache_hits: int
     executed: int
     jobs: int
     wall_s: float
+    effective_jobs: int = 1
 
     @property
     def hit_rate(self) -> float:
@@ -376,9 +397,11 @@ def run_many(
 
     ``jobs=None`` defers to :func:`set_default_jobs` (serial when unset);
     ``1`` runs serially in-process (no pool overhead);
-    ``jobs=N`` fans cache misses over N forked workers. Results always come
-    back in ``specs`` order regardless of completion order, so parallel and
-    serial invocations of the same sweep are interchangeable.
+    ``jobs=N`` fans cache misses over N forked workers, clamped to the
+    host's available CPUs — oversubscribing a pure-CPU simulation only
+    adds scheduler thrash and misleading speedup numbers. Results always
+    come back in ``specs`` order regardless of completion order, so
+    parallel and serial invocations of the same sweep are interchangeable.
 
     ``cache=False`` disables memoization; ``cache_dir`` points the run at a
     non-default store (tests use a temp dir).
@@ -409,9 +432,14 @@ def run_many(
     else:
         misses = [(index, spec, None) for index, spec in enumerate(specs)]
 
+    requested = jobs if jobs is not None else 1
+    effective = max(1, min(requested, default_jobs()))
+    if os.environ.get(OVERSUBSCRIBE_ENV):
+        # Escape hatch (tests, experiments): honor the requested worker
+        # count even past the host's CPU count.
+        effective = max(1, requested)
     if misses:
-        worker_count = jobs if jobs is not None else 1
-        worker_count = max(1, min(worker_count, len(misses)))
+        worker_count = max(1, min(effective, len(misses)))
         if worker_count == 1:
             produced = [execute_spec(spec) for _index, spec, _key in misses]
         else:
@@ -429,8 +457,9 @@ def run_many(
         results=results,
         cache_hits=hits,
         executed=len(misses),
-        jobs=jobs if jobs is not None else 1,
+        jobs=requested,
         wall_s=time.perf_counter() - t0,
+        effective_jobs=effective,
     )
 
 
@@ -453,6 +482,7 @@ def specs_for_apps(
     trace_kinds: Optional[Sequence[str]] = None,
     emulator_factory: Optional[str] = None,
     emulator_kwargs: Optional[Mapping[str, Any]] = None,
+    telemetry: bool = False,
 ) -> List[RunSpec]:
     """RunSpecs for a catalog parameter list on one emulator/machine."""
     kinds = tuple(trace_kinds) if trace_kinds is not None else None
@@ -467,6 +497,7 @@ def specs_for_apps(
             trace_kinds=kinds,
             emulator_factory=emulator_factory,
             emulator_kwargs=dict(emulator_kwargs or {}),
+            telemetry=telemetry,
         )
         for path, kwargs in app_params
     ]

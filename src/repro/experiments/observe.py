@@ -80,12 +80,15 @@ def run_observe(
     seed: int = 0,
     machine_spec=HIGH_END_DESKTOP,
     include_tracelog: bool = False,
+    reservoir: Optional[int] = None,
 ) -> ObserveResult:
     """Run one observed app; returns the trace + metrics dicts.
 
     ``include_tracelog`` digests the legacy :class:`TraceLog` records into
     the exported trace as instant events (one thread per record ``vdev``),
     so pre-observability instrumentation shows up alongside the spans.
+    ``reservoir`` overrides the registry's per-instrument sample retention
+    (gauge timelines and histogram reservoirs; default 512).
     """
     if app not in APPS:
         raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}")
@@ -97,7 +100,7 @@ def run_observe(
     sim = Simulator()
     machine = build_machine(sim, machine_spec)
     tracelog = TraceLog()
-    obs = Observability(sim)
+    obs = Observability(sim, reservoir=reservoir)
     make = EMULATOR_FACTORIES[emulator]
     emu = make(sim, machine, trace=tracelog, rng=random.Random(seed), obs=obs)
 
@@ -140,11 +143,12 @@ def cmd_observe(
     metrics_path: Optional[str] = None,
     seed: int = 0,
     include_tracelog: bool = False,
+    reservoir: Optional[int] = None,
 ) -> int:
     """CLI body: run, validate, write artifacts, print a digest."""
     run = run_observe(
         app=app, emulator=emulator, duration_ms=duration_ms, seed=seed,
-        include_tracelog=include_tracelog,
+        include_tracelog=include_tracelog, reservoir=reservoir,
     )
     errors = validate_chrome_trace(run.trace)
     if errors:

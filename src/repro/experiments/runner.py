@@ -39,12 +39,15 @@ class AppRun:
     process, or the engine's picklable
     :class:`~repro.experiments.engine.StatsSummary` (same read API) when it
     came back from a worker or the cache — in which case ``emulator`` is
-    ``None``.
+    ``None``. ``telemetry`` is a picklable
+    :class:`~repro.obs.fleet.TelemetrySnapshot` when the run was executed
+    with ``telemetry=True``.
     """
 
     result: AppResult
     emulator: Optional[Emulator]
     stats: Optional[Union[SvmStats, "StatsSummary"]]  # noqa: F821
+    telemetry: Optional["TelemetrySnapshot"] = None  # noqa: F821
 
 
 def run_app(
@@ -55,17 +58,38 @@ def run_app(
     seed: int = 0,
     trace_kinds: Optional[Sequence[str]] = None,
     factory: Optional[Callable] = None,
+    telemetry: bool = False,
 ) -> AppRun:
     """Run one app on one emulator for ``duration_ms`` of simulated time.
 
     ``trace_kinds`` narrows instrumentation for speed; ``factory``
     overrides the emulator constructor (used for the §5.4 ablations).
+    ``telemetry`` attaches the observability stack (tracer + registry +
+    self-profiler) and captures a picklable
+    :class:`~repro.obs.fleet.TelemetrySnapshot` onto the returned
+    :class:`AppRun` — observability only reads the clock, so the
+    simulated results are bit-identical either way.
     """
     sim = Simulator()
     machine = build_machine(sim, machine_spec)
     trace = TraceLog(kinds=list(trace_kinds) if trace_kinds is not None else None)
+    obs = None
+    if telemetry:
+        from repro.obs import Observability
+
+        obs = Observability(sim)
     make = factory if factory is not None else EMULATOR_FACTORIES[emulator_name]
-    emulator = make(sim, machine, trace=trace, rng=random.Random(seed))
+    rng = random.Random(seed)
+    if obs is not None:
+        try:
+            emulator = make(sim, machine, trace=trace, rng=rng, obs=obs)
+        except TypeError:
+            # Custom factories (ablation partials) may not take ``obs``;
+            # run them unobserved rather than failing the whole point.
+            obs = None
+            emulator = make(sim, machine, trace=trace, rng=rng)
+    else:
+        emulator = make(sim, machine, trace=trace, rng=rng)
 
     if not can_run(app.name, emulator_name):
         result = AppResult(
@@ -78,14 +102,46 @@ def run_app(
         )
         return AppRun(result=result, emulator=None, stats=None)
 
+    if obs is not None:
+        app.fps.attach_registry(obs.registry)
     if not app.install(sim, emulator):
         return AppRun(
-            result=app.collect(emulator_name, duration_ms), emulator=None, stats=None
+            result=app.collect(emulator_name, duration_ms), emulator=None, stats=None,
+            telemetry=_capture_telemetry(obs, trace, app, emulator_name,
+                                         duration_ms, seed, result=None),
         )
 
     sim.run(until=duration_ms)
     result = app.collect(emulator_name, duration_ms)
-    return AppRun(result=result, emulator=emulator, stats=SvmStats(trace, duration_ms))
+    return AppRun(
+        result=result, emulator=emulator, stats=SvmStats(trace, duration_ms),
+        telemetry=_capture_telemetry(obs, trace, app, emulator_name,
+                                     duration_ms, seed, result=result),
+    )
+
+
+def _capture_telemetry(obs, trace, app, emulator_name, duration_ms, seed, result):
+    """Freeze an observed run's state into a picklable snapshot."""
+    if obs is None:
+        return None
+    from repro.metrics.collectors import ResilienceStats
+    from repro.obs.fleet import TelemetrySnapshot
+
+    ResilienceStats(trace).to_registry(obs.registry)
+    meta = {
+        "app": app.name,
+        "category": app.category,
+        "emulator": emulator_name,
+        "duration_ms": duration_ms,
+        "seed": seed,
+        "ran": int(result is not None and result.ran),
+    }
+    if result is not None:
+        meta["fps"] = round(result.fps, 6)
+        meta["presented"] = result.presented
+    return TelemetrySnapshot.capture(
+        obs.registry, profiler=obs.profiler, tracer=obs.tracer, meta=meta
+    )
 
 
 def run_category(

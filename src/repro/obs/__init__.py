@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Mapping, Optional
 
+from repro.obs.baseline import RegressionSentinel, SentinelReport
 from repro.obs.export import (
     chrome_trace,
     connected_flows,
@@ -33,6 +34,12 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics,
+)
+from repro.obs.fleet import (
+    FleetAggregator,
+    TelemetrySnapshot,
+    aggregate_results,
+    validate_fleet_snapshot,
 )
 from repro.obs.profile import SelfProfiler
 from repro.obs.registry import (
@@ -53,17 +60,23 @@ __all__ = [
     "NULL_TRACER",
     "Counter",
     "DISABLED",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "RegressionSentinel",
     "SelfProfiler",
+    "SentinelReport",
     "Span",
+    "TelemetrySnapshot",
     "Tracer",
+    "aggregate_results",
     "chrome_trace",
     "connected_flows",
     "metrics_json",
     "validate_chrome_trace",
+    "validate_fleet_snapshot",
     "write_chrome_trace",
     "write_metrics",
 ]
@@ -83,12 +96,15 @@ class Observability:
     variant components default to.
     """
 
-    def __init__(self, sim=None, profile: bool = True):
+    def __init__(self, sim=None, profile: bool = True,
+                 reservoir: Optional[int] = None):
         self.sim = sim
         enabled = sim is not None
         self.enabled = enabled
         self.tracer = Tracer(sim) if enabled else NULL_TRACER
-        self.registry = MetricsRegistry() if enabled else NULL_REGISTRY
+        self.registry = (
+            MetricsRegistry(reservoir=reservoir) if enabled else NULL_REGISTRY
+        )
         self.profiler: Optional[SelfProfiler] = None
         if enabled and profile:
             self.profiler = SelfProfiler()

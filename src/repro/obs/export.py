@@ -229,6 +229,8 @@ def validate_chrome_trace(trace: Any) -> List[str]:
     if not isinstance(events, list):
         return ["missing or non-list 'traceEvents'"]
     flow_ids: Dict[int, List[str]] = {}
+    # bind_id → [saw flow_out, saw flow_in] for the v2 flow encoding.
+    bind_ids: Dict[Any, List[bool]] = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -257,9 +259,32 @@ def validate_chrome_trace(trace: Any) -> List[str]:
                 flow_ids.setdefault(flow, []).append(phase)
         if phase in ("X", "i", "M") and not isinstance(event.get("name"), str):
             errors.append(f"{where}: missing string 'name'")
+        if "bind_id" in event:
+            bind_id = event["bind_id"]
+            if not isinstance(bind_id, (int, str)):
+                errors.append(f"{where}: 'bind_id' must be an int or string")
+                continue
+            out = bool(event.get("flow_out"))
+            into = bool(event.get("flow_in"))
+            if not out and not into:
+                errors.append(
+                    f"{where}: 'bind_id' {bind_id!r} set without "
+                    "'flow_out' or 'flow_in' — the binding can never pair"
+                )
+                continue
+            flags = bind_ids.setdefault(bind_id, [False, False])
+            flags[0] = flags[0] or out
+            flags[1] = flags[1] or into
     for flow, phases in sorted(flow_ids.items()):
         if phases[0] != "s" or phases[-1] != "f":
             errors.append(f"flow {flow}: must start with 's' and end with 'f', got {phases}")
+    for bind_id, (out, into) in sorted(bind_ids.items(), key=lambda kv: str(kv[0])):
+        if out and not into:
+            errors.append(f"bind_id {bind_id!r}: has 'flow_out' events but no "
+                          "'flow_in' — the arrow starts and never lands")
+        elif into and not out:
+            errors.append(f"bind_id {bind_id!r}: has 'flow_in' events but no "
+                          "'flow_out' — the arrow lands but never starts")
     return errors
 
 

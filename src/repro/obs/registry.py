@@ -214,29 +214,46 @@ class MetricsRegistry:
     ``registry.counter("bus.bytes", link="pcie")`` returns the one counter
     for that (name, labels) pair, creating it on first use — call sites
     never coordinate. Instruments of the same name must keep one kind.
+
+    ``reservoir`` sets the default timeline/reservoir capacity for every
+    gauge and histogram this registry creates (instead of the shared
+    :data:`DEFAULT_RESERVOIR`); the ``reservoir=`` keyword on
+    :meth:`gauge` / :meth:`histogram` overrides it per instrument at
+    first-creation time.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, reservoir: Optional[int] = None):
         self.enabled = enabled
+        self.reservoir = reservoir if reservoir is not None else DEFAULT_RESERVOIR
         self._instruments: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Instrument] = {}
 
     # -- instrument accessors ----------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, **labels: Any) -> Gauge:
-        return self._get(Gauge, name, labels)
+    def gauge(self, name: str, *, reservoir: Optional[int] = None,
+              **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels, reservoir)
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get(Histogram, name, labels)
+    def histogram(self, name: str, *, reservoir: Optional[int] = None,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels, reservoir)
 
-    def _get(self, cls, name: str, labels: Dict[str, Any]):
+    def _get(self, cls, name: str, labels: Dict[str, Any],
+             reservoir: Optional[int] = None):
         if not self.enabled:
             return NULL_INSTRUMENT
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = cls(name, {k: str(v) for k, v in labels.items()})
+            clean = {k: str(v) for k, v in labels.items()}
+            capacity = reservoir if reservoir is not None else self.reservoir
+            if cls is Gauge:
+                instrument = Gauge(name, clean, timeline_capacity=capacity)
+            elif cls is Histogram:
+                instrument = Histogram(name, clean, reservoir_capacity=capacity)
+            else:
+                instrument = cls(name, clean)
             self._instruments[key] = instrument
         elif not isinstance(instrument, cls):
             raise TypeError(

@@ -68,7 +68,10 @@ def test_non_plain_data_spec_rejected():
 # Parallel determinism (the engine's core promise)
 # ---------------------------------------------------------------------------
 
-def test_parallel_bit_identical_to_serial():
+def test_parallel_bit_identical_to_serial(monkeypatch):
+    # Force a real pool even on a 1-CPU host: the point is cross-process
+    # determinism, not scheduling efficiency.
+    monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
     specs = _grid_specs()
     serial = run_many(specs, jobs=1, cache=False)
     parallel = run_many(specs, jobs=3, cache=False)
@@ -212,3 +215,33 @@ def test_point_spec_runs_module_function(tmp_path):
     via_engine = run_many([spec], jobs=1, cache=RunCache(tmp_path)).results[0]
     direct = density_point("vSoC", 1, duration_ms=2_000.0, seed=0)
     assert via_engine == direct
+
+
+# ---------------------------------------------------------------------------
+# Worker-count clamping (honest parallel bench numbers)
+# ---------------------------------------------------------------------------
+
+def test_jobs_clamped_to_available_cpus(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_OVERSUBSCRIBE", raising=False)
+    from repro.experiments.engine import default_jobs
+
+    specs = _grid_specs(duration_ms=1_000.0)[:2]
+    report = run_many(specs, jobs=32, cache=False)
+    assert report.jobs == 32  # the request is preserved for the record
+    assert report.effective_jobs == min(32, default_jobs())
+    assert report.effective_jobs >= 1
+
+
+def test_oversubscribe_env_lifts_clamp(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+    specs = _grid_specs(duration_ms=1_000.0)[:2]
+    report = run_many(specs, jobs=3, cache=False)
+    assert report.jobs == 3
+    assert report.effective_jobs == 3
+
+
+def test_serial_run_reports_single_effective_job():
+    specs = _grid_specs(duration_ms=1_000.0)[:1]
+    report = run_many(specs, jobs=1, cache=False)
+    assert report.jobs == 1
+    assert report.effective_jobs == 1

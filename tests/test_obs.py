@@ -481,3 +481,87 @@ def test_observe_cli_rejects_unknown_app():
         run_observe(app="nope")
     with pytest.raises(ValueError):
         run_observe(emulator="nope")
+
+
+# -- reservoir overrides -------------------------------------------------------
+
+def test_registry_reservoir_override():
+    from repro.obs.registry import DEFAULT_RESERVOIR, MetricsRegistry
+
+    small = MetricsRegistry(reservoir=8)
+    hist = small.histogram("h")
+    gauge = small.gauge("g")
+    for i in range(1_000):
+        hist.observe(float(i))
+        gauge.set(float(i), time=float(i))
+    assert len(hist.samples()) <= 8
+    assert len(gauge.timeline()) <= 8
+
+    mixed = MetricsRegistry()
+    wide = mixed.histogram("wide", reservoir=2_048)
+    narrow = mixed.histogram("narrow", reservoir=4)
+    default = mixed.histogram("default")
+    for i in range(5_000):
+        wide.observe(float(i))
+        narrow.observe(float(i))
+        default.observe(float(i))
+    assert len(narrow.samples()) <= 4
+    assert len(default.samples()) <= DEFAULT_RESERVOIR
+    assert len(wide.samples()) > DEFAULT_RESERVOIR
+
+
+def test_observe_reservoir_threads_through():
+    from repro.experiments.observe import run_observe
+
+    run = run_observe(app="video", duration_ms=1_500.0, reservoir=16)
+    for metric in run.metrics["metrics"]:
+        samples = metric.get("samples") or metric.get("timeline") or []
+        assert len(samples) <= 16, metric["name"]
+
+
+# -- bind_id flow validation ---------------------------------------------------
+
+def _bind_event(ph="X", bind_id=7, **flags):
+    event = {"ph": ph, "name": "e", "cat": "c", "ts": 1.0, "dur": 1.0,
+             "pid": 1, "tid": 1, "bind_id": bind_id}
+    event.update(flags)
+    return event
+
+
+def test_validator_flags_unpaired_bind_ids():
+    # flow_out with no flow_in: the arrow starts and never lands.
+    out_only = {"traceEvents": [_bind_event(flow_out=True)]}
+    errors = validate_chrome_trace(out_only)
+    assert any("no 'flow_in'" in e for e in errors)
+
+    # flow_in with no flow_out: the arrow lands but never starts.
+    in_only = {"traceEvents": [_bind_event(flow_in=True)]}
+    errors = validate_chrome_trace(in_only)
+    assert any("no 'flow_out'" in e for e in errors)
+
+    # bind_id with neither flag can never pair at all.
+    neither = {"traceEvents": [_bind_event()]}
+    errors = validate_chrome_trace(neither)
+    assert any("can never pair" in e for e in errors)
+
+    # a bad bind_id type is reported rather than crashing the validator
+    bad_type = {"traceEvents": [_bind_event(bind_id=[1], flow_out=True)]}
+    errors = validate_chrome_trace(bad_type)
+    assert any("must be an int or string" in e for e in errors)
+
+
+def test_validator_accepts_paired_bind_ids():
+    paired = {"traceEvents": [
+        _bind_event(flow_out=True),
+        _bind_event(flow_in=True),
+    ]}
+    assert validate_chrome_trace(paired) == []
+    # one event carrying both directions pairs with itself (a relay hop)
+    relay = {"traceEvents": [_bind_event(flow_out=True, flow_in=True)]}
+    assert validate_chrome_trace(relay) == []
+    # string bind ids are legal in the format
+    strings = {"traceEvents": [
+        _bind_event(bind_id="0xcafe", flow_out=True),
+        _bind_event(bind_id="0xcafe", flow_in=True),
+    ]}
+    assert validate_chrome_trace(strings) == []
