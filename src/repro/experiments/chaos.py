@@ -212,11 +212,15 @@ def run_fault_classes(
     emulator_name: str = "vSoC",
     duration_ms: float = DEFAULT_CHAOS_DURATION_MS,
     seed: int = 0,
+    only: Optional[str] = None,
 ) -> Dict[str, ChaosResult]:
     """One run per fault class, plus fault-free and the full scenario.
 
     This is the per-class report ``benchmarks/bench_chaos.py`` prints:
-    how much FPS each class of disturbance costs on its own.
+    how much FPS each class of disturbance costs on its own. ``only``
+    restricts the sweep to a single class (the fault-free baseline is
+    always included for comparison) — the shape the chaos CLI's
+    one-line reproducer commands replay.
     """
     plans: Dict[str, FaultPlan] = {
         "fault-free": FaultPlan(),
@@ -231,6 +235,13 @@ def run_fault_classes(
         "device-crash": crash_chaos_plan(),
         "full-chaos": default_chaos_plan(),
     }
+    if only is not None:
+        if only not in plans:
+            raise ValueError(
+                f"unknown fault class {only!r}; choices: {sorted(plans)}"
+            )
+        plans = {label: plan for label, plan in plans.items()
+                 if label in ("fault-free", only)}
     return {
         label: run_chaos(
             emulator_name, duration_ms=duration_ms, seed=seed, plan=plan

@@ -1,0 +1,174 @@
+"""The ``fleetserve`` demo: a supervised fleet serving 10k+ sessions.
+
+Drives :class:`~repro.fleet.FleetService` through a seeded synthetic day
+of traffic — diurnal base load, a flash crowd, and a crash storm that
+kills workers mid-run — then prints the serving ledger and renders the
+live fleet state into the PR 5 dashboard. The acceptance bars:
+
+* the full-size run sustains **≥ 10 000 concurrent sessions**;
+* every injected worker crash drains with **zero lost sessions**
+  (``recovery.lost_sessions == 0`` and ``stats.lost == 0``);
+* session accounting balances exactly
+  (offered = admitted + shed; admitted = completed + lost + active).
+
+Every run is a pure function of ``--seed``; a failing run prints the
+one-line seeded reproducer command.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.fleet import FleetService, FlashCrowd, crash_storm_plan, generate_trace
+
+#: Demo sizes: (workers, capacity, horizon ms, arrivals/s, mean session ms,
+#: crashes, min peak concurrency the run must sustain).
+FULL_SHAPE = dict(
+    workers=24, capacity=600.0, horizon_ms=30_000.0, rate_per_s=900.0,
+    mean_session_ms=14_000.0, crashes=3, min_peak=10_000,
+)
+QUICK_SHAPE = dict(
+    workers=6, capacity=200.0, horizon_ms=10_000.0, rate_per_s=60.0,
+    mean_session_ms=4_000.0, crashes=1, min_peak=150,
+)
+
+
+def run_fleetserve(
+    seed: int = 0,
+    quick: bool = False,
+    crashes: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """One seeded fleet run; returns the service's full report."""
+    shape = dict(QUICK_SHAPE if quick else FULL_SHAPE)
+    if crashes is not None:
+        shape["crashes"] = crashes
+    if workers is not None:
+        shape["workers"] = workers
+    trace = generate_trace(
+        seed=seed,
+        horizon_ms=shape["horizon_ms"],
+        base_rate_per_s=shape["rate_per_s"],
+        mean_session_ms=shape["mean_session_ms"],
+        flash_crowds=(FlashCrowd(
+            peak_ms=shape["horizon_ms"] * 0.6,
+            amplitude=1.6,
+            sigma_ms=shape["horizon_ms"] * 0.08,
+        ),),
+    )
+    worker_names = [f"w{i:02d}" for i in range(int(shape["workers"]))]
+    plan = crash_storm_plan(
+        worker_names,
+        start_ms=shape["horizon_ms"] * 0.3,
+        crashes=int(shape["crashes"]),
+        downtime_ms=800.0,
+        seed=seed,
+        include_hang=not quick,
+        include_slow_heartbeat=not quick,
+    )
+    service = FleetService(
+        n_workers=int(shape["workers"]),
+        worker_capacity=float(shape["capacity"]),
+        initial_window=1_024.0,
+        max_window=16_384.0,
+    )
+    service.serve(trace, plan=plan)
+    report = service.report()
+    report["shape"] = {k: shape[k] for k in sorted(shape)}
+    report["seed"] = seed
+    return report
+
+
+def _reproducer(seed: int, quick: bool) -> str:
+    quick_flag = " --quick" if quick else ""
+    return f"REPRODUCE: python -m repro.experiments fleetserve --seed {seed}{quick_flag}"
+
+
+def check_fleetserve(report: Dict[str, Any]) -> list:
+    """The acceptance bars; returns the list of failures (empty = pass)."""
+    summary = report["summary"]
+    stats = summary["stats"]
+    recovery = summary["recovery"]
+    shape = report["shape"]
+    failures = []
+    if stats["lost"] != 0 or recovery["lost_sessions"] != 0:
+        failures.append(
+            f"lost sessions: stats.lost={stats['lost']} "
+            f"recovery.lost_sessions={recovery['lost_sessions']} (must be 0)"
+        )
+    if not summary["balanced"]:
+        failures.append("session accounting does not balance")
+    if stats["peak_concurrent"] < shape["min_peak"]:
+        failures.append(
+            f"peak concurrency {stats['peak_concurrent']} below the "
+            f"{shape['min_peak']} bar"
+        )
+    if recovery["crashes"] < shape["crashes"]:
+        failures.append(
+            f"only {recovery['crashes']} of {shape['crashes']} injected "
+            f"crashes were detected"
+        )
+    if recovery["crashes"] and recovery["drains"] == 0:
+        failures.append("crashes were detected but nothing was drained")
+    return failures
+
+
+def cmd_fleetserve(
+    quick: bool = False,
+    seed: int = 0,
+    out_path: Optional[str] = None,
+    report_path: Optional[str] = None,
+    crashes: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> int:
+    report = run_fleetserve(
+        seed=seed, quick=quick, crashes=crashes, workers=workers
+    )
+    summary = report["summary"]
+    stats = summary["stats"]
+    recovery = summary["recovery"]
+    print(f"Fleet session service — seed {seed}"
+          f"{' (quick)' if quick else ''}:")
+    print(f"  trace: {summary['trace']['sessions']} sessions over "
+          f"{summary['trace']['horizon_ms'] / 1_000:.0f}s, offered peak "
+          f"{summary['trace']['peak_offered_concurrency']}")
+    print(f"  admitted {stats['admitted']}/{stats['offered']} "
+          f"(shed {stats['shed']}: window {stats['shed_flow']}, "
+          f"capacity {stats['shed_capacity']}, "
+          f"degraded {stats['shed_degraded']})")
+    print(f"  peak concurrent {stats['peak_concurrent']}, "
+          f"completed {stats['completed']}, "
+          f"active at end {summary['active_at_end']}")
+    print(f"  crashes {recovery['crashes']}, drains {recovery['drains']}, "
+          f"evacuated {recovery['evacuated_sessions']}, "
+          f"lost {recovery['lost_sessions']}, "
+          f"restarts {recovery['worker_restarts']}, "
+          f"retired {recovery['retired_workers']}")
+    print(f"  migrations {stats['migrations']} "
+          f"(rebalance {stats['rebalances']}, "
+          f"evacuation {stats['evacuations']})")
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"  report JSON -> {report_path}")
+    if out_path:
+        from repro.obs.dashboard import render_dashboard, write_dashboard
+
+        html = render_dashboard(
+            report["aggregate"],
+            title=f"vSoC fleet session service (seed {seed})",
+        )
+        write_dashboard(out_path, html)
+        print(f"  dashboard -> {out_path}")
+    failures = check_fleetserve(report)
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(_reproducer(seed, quick))
+        return 1
+    print("\nPASS: zero lost sessions, accounting balanced, "
+          f"peak {stats['peak_concurrent']} >= {report['shape']['min_peak']}")
+    return 0

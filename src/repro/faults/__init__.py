@@ -15,6 +15,7 @@ from repro.faults.plan import (
     DeviceStallEvent,
     FaultPlan,
     TransportFaultWindow,
+    WorkerFaultEvent,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "DeviceStallEvent",
     "DeviceResetEvent",
     "TransportFaultWindow",
+    "WorkerFaultEvent",
 ]

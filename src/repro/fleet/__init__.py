@@ -1,0 +1,50 @@
+"""Fault-tolerant fleet session service (ISSUE 6 tentpole).
+
+A deterministic asyncio control plane serving synthetic session traffic
+across a supervised pool of simulation workers: admission control paced
+by a MIMD window, load-predicted placement, heartbeat supervision with
+drain-on-crash, and live session migration over checksummed snapshots.
+"""
+
+from repro.fleet.arrivals import (
+    APP_PROFILES,
+    ArrivalTrace,
+    FlashCrowd,
+    SessionSpec,
+    crash_storm_plan,
+    generate_trace,
+)
+from repro.fleet.clock import ClockHandle, FleetEvent, VirtualClock
+from repro.fleet.migration import (
+    MigrationRecord,
+    capture_session,
+    migrate_session,
+    restore_session,
+)
+from repro.fleet.service import FleetService, FleetStats, LoadPredictor
+from repro.fleet.supervisor import FleetRecoveryStats, WorkerSupervisor
+from repro.fleet.worker import QUANTUM_MS, SessionSim, SimWorker
+
+__all__ = [
+    "APP_PROFILES",
+    "ArrivalTrace",
+    "ClockHandle",
+    "FlashCrowd",
+    "FleetEvent",
+    "FleetRecoveryStats",
+    "FleetService",
+    "FleetStats",
+    "LoadPredictor",
+    "MigrationRecord",
+    "QUANTUM_MS",
+    "SessionSim",
+    "SessionSpec",
+    "SimWorker",
+    "VirtualClock",
+    "WorkerSupervisor",
+    "capture_session",
+    "crash_storm_plan",
+    "generate_trace",
+    "migrate_session",
+    "restore_session",
+]

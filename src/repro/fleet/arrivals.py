@@ -1,0 +1,274 @@
+"""Synthetic session-arrival traces: diurnal load, flash crowds, storms.
+
+A production emulator farm serves *sessions* — users attach, run an app
+for a while, detach. This module generates deterministic arrival traces
+for the fleet service to chew on:
+
+* a **diurnal** base rate (sinusoidal, compressed onto the simulated
+  horizon — one "day" per trace by default);
+* **flash crowds**: Gaussian bumps multiplying the instantaneous rate,
+  the pattern a viral app launch produces;
+* **crash storms**: :class:`~repro.faults.plan.FaultPlan` worker faults
+  (crash / hang / slow-heartbeat) spread across the worker pool, so the
+  chaos that kills workers is described by the same validated, seeded
+  plan machinery the device-level chaos runner uses.
+
+Everything is a pure function of the seed: arrival counts per bin come
+from a seeded ``random.Random`` (normal approximation of a Poisson draw
+above ``POISSON_EXACT_LIMIT`` events/bin, exact Knuth sampling below it),
+and session attributes (app mix, duration, priority, per-session seed)
+consume the same stream in a fixed order.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+
+#: App profiles the fleet serves: (base frame interval ms, load units,
+#: target FPS for the SLO check, mix weight). Load units are the proxy
+#: for predicted device/bus pressure a session puts on its worker.
+APP_PROFILES: Dict[str, Tuple[float, float, float, float]] = {
+    "video": (33.4, 1.00, 24.0, 0.30),
+    "camera": (33.4, 0.80, 24.0, 0.15),
+    "ar": (16.7, 1.40, 45.0, 0.15),
+    "game": (16.7, 1.20, 45.0, 0.20),
+    "social": (50.0, 0.40, 15.0, 0.20),
+}
+
+#: Priority classes: 0 is never shed, 2 goes first under saturation.
+PRIORITY_WEIGHTS: Tuple[Tuple[int, float], ...] = ((0, 0.15), (1, 0.55), (2, 0.30))
+
+#: Above this many expected arrivals per bin, use the normal
+#: approximation instead of exact (O(λ)) Knuth sampling.
+POISSON_EXACT_LIMIT = 30.0
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One session request: who arrives when, wanting what, for how long."""
+
+    session_id: str
+    app: str
+    arrival_ms: float
+    duration_ms: float
+    priority: int
+    frame_interval_ms: float
+    load: float
+    target_fps: float
+    seed: int
+
+    def recipe(self) -> Dict[str, object]:
+        """JSON-able identity — the migration snapshot's ``recipe``."""
+        return {
+            "session_id": self.session_id,
+            "app": self.app,
+            "arrival_ms": self.arrival_ms,
+            "duration_ms": self.duration_ms,
+            "priority": self.priority,
+            "frame_interval_ms": self.frame_interval_ms,
+            "load": self.load,
+            "target_fps": self.target_fps,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_recipe(cls, recipe: Dict[str, object]) -> "SessionSpec":
+        missing = [k for k in (
+            "session_id", "app", "arrival_ms", "duration_ms", "priority",
+            "frame_interval_ms", "load", "target_fps", "seed",
+        ) if k not in recipe]
+        if missing:
+            raise ConfigurationError(f"session recipe is missing keys: {missing}")
+        return cls(
+            session_id=str(recipe["session_id"]),
+            app=str(recipe["app"]),
+            arrival_ms=float(recipe["arrival_ms"]),  # type: ignore[arg-type]
+            duration_ms=float(recipe["duration_ms"]),  # type: ignore[arg-type]
+            priority=int(recipe["priority"]),  # type: ignore[arg-type]
+            frame_interval_ms=float(recipe["frame_interval_ms"]),  # type: ignore[arg-type]
+            load=float(recipe["load"]),  # type: ignore[arg-type]
+            target_fps=float(recipe["target_fps"]),  # type: ignore[arg-type]
+            seed=int(recipe["seed"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A Gaussian rate bump: ×``amplitude`` at ``peak_ms``, width ``sigma_ms``."""
+
+    peak_ms: float
+    amplitude: float
+    sigma_ms: float
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A finished trace: sessions sorted by arrival time."""
+
+    sessions: Tuple[SessionSpec, ...]
+    horizon_ms: float
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def peak_concurrency(self) -> int:
+        """Max sessions simultaneously active if every one were admitted."""
+        events: List[Tuple[float, int]] = []
+        for spec in self.sessions:
+            events.append((spec.arrival_ms, 1))
+            events.append((spec.arrival_ms + spec.duration_ms, -1))
+        events.sort()
+        live = peak = 0
+        for _t, delta in events:
+            live += delta
+            peak = max(peak, live)
+        return peak
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    if lam <= 0:
+        return 0
+    if lam > POISSON_EXACT_LIMIT:
+        return max(0, int(round(rng.gauss(lam, math.sqrt(lam)))))
+    # Knuth: exact for small λ.
+    limit = math.exp(-lam)
+    count, product = 0, rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _pick_weighted(rng: random.Random, items: Sequence[Tuple[object, float]]):
+    total = sum(weight for _item, weight in items)
+    point = rng.random() * total
+    for item, weight in items:
+        point -= weight
+        if point <= 0:
+            return item
+    return items[-1][0]
+
+
+def generate_trace(
+    seed: int = 0,
+    horizon_ms: float = 30_000.0,
+    base_rate_per_s: float = 50.0,
+    diurnal_amplitude: float = 0.35,
+    diurnal_period_ms: Optional[float] = None,
+    flash_crowds: Sequence[FlashCrowd] = (),
+    mean_session_ms: float = 8_000.0,
+    min_session_ms: float = 1_000.0,
+    bin_ms: float = 250.0,
+    app_weights: Optional[Dict[str, float]] = None,
+) -> ArrivalTrace:
+    """Deterministic synthetic arrival trace.
+
+    ``base_rate_per_s`` is the diurnal *mean*; instantaneous rate is
+    ``base × (1 + A·sin(2πt/period)) × Π flash-crowd bumps``. Sessions
+    get exponentially distributed durations (clamped to
+    ``[min_session_ms, 4×mean]``), an app drawn from the profile mix, a
+    priority class, and an independent per-session seed.
+    """
+    if horizon_ms <= 0 or base_rate_per_s < 0:
+        raise ConfigurationError("horizon must be > 0 and rate >= 0")
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ConfigurationError(
+            f"diurnal amplitude must be in [0, 1), got {diurnal_amplitude}"
+        )
+    if mean_session_ms <= 0 or min_session_ms <= 0 or bin_ms <= 0:
+        raise ConfigurationError("durations and bin size must be > 0")
+    period = diurnal_period_ms if diurnal_period_ms is not None else horizon_ms
+    rng = random.Random(seed)
+    weights = app_weights or {
+        app: profile[3] for app, profile in APP_PROFILES.items()
+    }
+    app_items: List[Tuple[object, float]] = sorted(weights.items())
+    sessions: List[SessionSpec] = []
+    serial = 0
+    t = 0.0
+    while t < horizon_ms:
+        mid = t + bin_ms / 2.0
+        rate = base_rate_per_s * (
+            1.0 + diurnal_amplitude * math.sin(2.0 * math.pi * mid / period)
+        )
+        for crowd in flash_crowds:
+            z = (mid - crowd.peak_ms) / crowd.sigma_ms
+            rate *= 1.0 + (crowd.amplitude - 1.0) * math.exp(-0.5 * z * z)
+        count = _poisson(rng, rate * bin_ms / 1_000.0)
+        offsets = sorted(rng.random() for _ in range(count))
+        for offset in offsets:
+            app = str(_pick_weighted(rng, app_items))
+            interval, load, target_fps, _w = APP_PROFILES[app]
+            duration = min(
+                4.0 * mean_session_ms,
+                max(min_session_ms, rng.expovariate(1.0 / mean_session_ms)),
+            )
+            priority = int(_pick_weighted(rng, PRIORITY_WEIGHTS))
+            sessions.append(SessionSpec(
+                session_id=f"s{serial:06d}",
+                app=app,
+                arrival_ms=t + offset * bin_ms,
+                duration_ms=duration,
+                priority=priority,
+                frame_interval_ms=interval,
+                load=load,
+                target_fps=target_fps,
+                seed=rng.getrandbits(32),
+            ))
+            serial += 1
+        t += bin_ms
+    sessions.sort(key=lambda s: (s.arrival_ms, s.session_id))
+    return ArrivalTrace(tuple(sessions), horizon_ms, seed)
+
+
+def crash_storm_plan(
+    workers: Sequence[str],
+    start_ms: float,
+    crashes: int,
+    spacing_ms: float = 1_500.0,
+    downtime_ms: float = 800.0,
+    seed: int = 0,
+    include_hang: bool = False,
+    include_slow_heartbeat: bool = False,
+) -> FaultPlan:
+    """A storm of worker faults spread across the pool, as a FaultPlan.
+
+    Crashes land ``spacing_ms`` apart on rotating workers (seeded shuffle
+    decides the rotation), honouring the one-fault-at-a-time-per-worker
+    validation rule. Optionally layers one hang and one slow-heartbeat
+    window on workers not already crashing at that time.
+    """
+    if not workers:
+        raise ConfigurationError("crash storm needs at least one worker")
+    if crashes < 0:
+        raise ConfigurationError(f"crashes must be >= 0, got {crashes}")
+    order = sorted(workers)
+    rng = random.Random(seed)
+    rng.shuffle(order)
+    plan = FaultPlan()
+    busy_until: Dict[str, float] = {}
+    t = start_ms
+    for i in range(crashes):
+        name = order[i % len(order)]
+        at = max(t, busy_until.get(name, 0.0))
+        plan.crash_worker(at, name, downtime_ms)
+        busy_until[name] = at + downtime_ms
+        t += spacing_ms
+    extras = [name for name in order if name not in busy_until]
+    if include_hang:
+        victim = extras.pop(0) if extras else order[0]
+        at = max(start_ms + spacing_ms / 2.0, busy_until.get(victim, 0.0))
+        plan.hang_worker(at, victim, duration_ms=downtime_ms / 2.0)
+        busy_until[victim] = at + downtime_ms / 2.0
+    if include_slow_heartbeat:
+        victim = extras.pop(0) if extras else order[-1]
+        at = max(start_ms, busy_until.get(victim, 0.0))
+        plan.slow_heartbeat(at, victim, duration_ms=downtime_ms, factor=2.5)
+    return plan.validate()

@@ -1,0 +1,222 @@
+"""Worker supervision: heartbeat health checks, drain-on-crash, restarts.
+
+The supervisor never trusts a worker's word that it is healthy — it
+watches heartbeats. A worker that has been silent for more than
+``miss_threshold`` heartbeat intervals is *declared dead* regardless of
+why (crashed process, wedged event loop, or a hang long enough to be
+indistinguishable from death), fenced so a revenant cannot resume, and
+**drained**: every stranded session is checkpoint-migrated onto a healthy
+worker through the same checksummed snapshot path planned migrations use.
+The drain is bounded by a :class:`~repro.sim.resilience.Deadline`;
+sessions the deadline strands are counted as lost, never silently
+dropped.
+
+Restarts are bounded by a :class:`~repro.sim.resilience.RetryPolicy`:
+each attempt backs off exponentially, an attempt inside the fault's
+``down_until`` window counts as a failure, and an exhausted policy
+retires the worker permanently. All bookkeeping lands in
+:class:`FleetRecoveryStats`, the fleet-level extension of the
+device-recovery ``RecoveryStats``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.fleet.clock import VirtualClock
+from repro.fleet.migration import MigrationRecord, migrate_session
+from repro.fleet.worker import CRASHED, RETIRED, RUNNING, SessionSim, SimWorker
+from repro.obs.fleet import TelemetrySnapshot
+from repro.recovery.coordinator import RecoveryStats
+from repro.sim.resilience import Deadline, RetryPolicy
+
+#: Restart ladder: first attempt after 200 ms, doubling to a 2 s cap,
+#: at most six tries before the worker is retired for good.
+DEFAULT_RESTART_POLICY = RetryPolicy(
+    max_attempts=6, base_delay_ms=200.0, multiplier=2.0, max_delay_ms=2_000.0
+)
+
+
+class FleetRecoveryStats(RecoveryStats):
+    """Device-recovery stats plus the fleet-level drain/restart ledger."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.drains = 0
+        self.drain_timeouts = 0
+        self.evacuated_sessions = 0
+        self.lost_sessions = 0
+        self.worker_restarts = 0
+        self.retired_workers = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        out = super().as_dict()
+        out.update({
+            "drains": self.drains,
+            "drain_timeouts": self.drain_timeouts,
+            "evacuated_sessions": self.evacuated_sessions,
+            "lost_sessions": self.lost_sessions,
+            "worker_restarts": self.worker_restarts,
+            "retired_workers": self.retired_workers,
+        })
+        return out
+
+
+# The service wires these in: where to put an evacuee, what to do with a
+# session nobody could take, and where migration/telemetry records go.
+PlacementFn = Callable[[SessionSim, str], Optional[SimWorker]]
+LostFn = Callable[[SessionSim, str], None]
+MigratedFn = Callable[[MigrationRecord], None]
+TelemetryFn = Callable[[TelemetrySnapshot], None]
+
+
+class WorkerSupervisor:
+    """Watches worker heartbeats; drains and restarts the ones that die."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        stats: Optional[FleetRecoveryStats] = None,
+        restart_policy: RetryPolicy = DEFAULT_RESTART_POLICY,
+        miss_threshold: int = 4,
+        check_ms: float = 250.0,
+        drain_timeout_ms: float = 2_000.0,
+        drain_batch: int = 512,
+        drain_pause_ms: float = 5.0,
+    ):
+        self.clock = clock
+        self.stats = stats if stats is not None else FleetRecoveryStats()
+        self.restart_policy = restart_policy
+        self.miss_threshold = miss_threshold
+        self.check_ms = check_ms
+        self.drain_timeout_ms = drain_timeout_ms
+        self.drain_batch = drain_batch
+        self.drain_pause_ms = drain_pause_ms
+        self.workers: Dict[str, SimWorker] = {}
+        self.down_until: Dict[str, float] = {}
+        self.place_evacuee: Optional[PlacementFn] = None
+        self.on_lost: Optional[LostFn] = None
+        self.on_migrated: Optional[MigratedFn] = None
+        self.on_partial_telemetry: Optional[TelemetryFn] = None
+        self._incidents: Set[str] = set()
+        self._stopped = False
+
+    # -- wiring --------------------------------------------------------------
+    def register(self, worker: SimWorker) -> None:
+        self.workers[worker.name] = worker
+
+    def mark_down(self, name: str, until_ms: float) -> None:
+        """Record a fault window: restarts before ``until_ms`` will fail."""
+        self.down_until[name] = max(self.down_until.get(name, 0.0), until_ms)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- health checking -----------------------------------------------------
+    def declared_dead(self, worker: SimWorker, now: float) -> bool:
+        """Silence longer than ``miss_threshold`` heartbeats means dead."""
+        if worker.state == RETIRED:
+            return False
+        return now - worker.last_beat > self.miss_threshold * worker.heartbeat_ms
+
+    async def monitor(self) -> None:
+        """The supervision loop: periodic health sweep over all workers."""
+        while not self._stopped:
+            await self.clock.sleep(self.check_ms)
+            if self._stopped:
+                return
+            self.check(self.clock.now)
+
+    def check(self, now: float) -> None:
+        for name in sorted(self.workers):
+            if name in self._incidents:
+                continue  # already being drained/restarted
+            worker = self.workers[name]
+            if self.declared_dead(worker, now):
+                self._incidents.add(name)
+                self.clock.spawn(
+                    self._handle_failure(name), name=f"supervise.{name}"
+                )
+
+    # -- the incident path ---------------------------------------------------
+    async def _handle_failure(self, name: str) -> None:
+        worker = self.workers[name]
+        # Fence first: a hung worker declared dead must never resume as a
+        # revenant and double-advance sessions that were migrated away.
+        if worker.state == RUNNING:
+            worker.crash()
+        self.stats.crashes += 1
+        await self._drain(worker)
+        await self._restart(worker)
+        self._incidents.discard(name)
+
+    async def _drain(self, worker: SimWorker) -> None:
+        """Evacuate every stranded session, bounded by a drain deadline."""
+        self.stats.drains += 1
+        deadline = Deadline(
+            self.clock, self.drain_timeout_ms, label=f"drain.{worker.name}"
+        )
+        pending: List[str] = list(worker.sessions)
+        try:
+            while pending:
+                batch, pending = pending[: self.drain_batch], pending[self.drain_batch:]
+                for session_id in batch:
+                    self._evacuate_one(worker, session_id)
+                if pending:
+                    if deadline.expired:
+                        break
+                    await self.clock.sleep(self.drain_pause_ms)
+        finally:
+            deadline.cancel()
+        if pending:
+            self.stats.drain_timeouts += 1
+            for session_id in pending:
+                self._lose(worker, session_id)
+
+    def _evacuate_one(self, worker: SimWorker, session_id: str) -> None:
+        session = worker.sessions.get(session_id)
+        if session is None or session.done:
+            return
+        target = (
+            self.place_evacuee(session, worker.name)
+            if self.place_evacuee is not None
+            else None
+        )
+        if target is None or not target.alive:
+            self._lose(worker, session_id)
+            return
+        record = migrate_session(
+            session_id, worker, target, reason=f"drain:{worker.name}"
+        )
+        self.stats.evacuated_sessions += 1
+        if self.on_migrated is not None:
+            self.on_migrated(record)
+
+    def _lose(self, worker: SimWorker, session_id: str) -> None:
+        """A session nobody could take: stream its truncated telemetry."""
+        session = worker.release(session_id)
+        self.stats.lost_sessions += 1
+        if self.on_partial_telemetry is not None:
+            self.on_partial_telemetry(
+                session.telemetry(worker.name, partial=True)
+            )
+        if self.on_lost is not None:
+            self.on_lost(session, worker.name)
+
+    async def _restart(self, worker: SimWorker) -> None:
+        """Bounded-backoff restart; retire the worker when exhausted."""
+        attempts = 0
+        while True:
+            attempts += 1
+            await self.clock.sleep(self.restart_policy.delay_before_retry(attempts))
+            if worker.state != CRASHED:
+                return  # externally retired/revived while we backed off
+            if self.clock.now >= self.down_until.get(worker.name, 0.0):
+                worker.revive()
+                self.stats.recoveries += 1
+                self.stats.worker_restarts += 1
+                return
+            if self.restart_policy.exhausted(attempts):
+                worker.retire()
+                self.stats.retired_workers += 1
+                return

@@ -50,7 +50,11 @@ def percentile(
     low = min(int(math.floor(rank)), len(ordered) - 2)
     high = low + 1
     fraction = rank - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    result = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # The two-product form is stable for huge magnitudes but can round
+    # outside the bracket for denormals (5e-324 * 0.5 rounds to 0);
+    # clamp so the result always lands between its neighbors.
+    return min(max(result, ordered[low]), ordered[high])
 
 
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:

@@ -25,6 +25,7 @@ no randomness.
 
 from __future__ import annotations
 
+import copy
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -42,6 +43,23 @@ FLEET_SCHEMA = "repro-fleet-telemetry-v1"
 
 #: Cap on distinct span names retained in one run's trace digest.
 TRACE_DIGEST_CAP = 64
+
+#: Cap on per-group metas retained when snapshots are *streamed* — the
+#: fleet service pushes one snapshot per session, and a 10k-session run
+#: must not hold 10k meta dicts just to render a dashboard.
+STREAM_META_CAP = 16
+
+
+def snapshot_is_partial(snap: "TelemetrySnapshot") -> bool:
+    """True when a snapshot marks itself a truncated/mid-stream reading.
+
+    A worker that dies mid-session leaves its last telemetry reading
+    incomplete; the fleet service streams it anyway with
+    ``meta["partial"] = "true"`` so the aggregate can flag — rather than
+    silently absorb or crash on — contributions that never saw their
+    session finish.
+    """
+    return snap.meta_dict.get("partial") == "true"
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -291,6 +309,7 @@ class _Rollup:
     def __init__(self, reservoir: int):
         self.reservoir = reservoir
         self.runs = 0
+        self.partial = 0
         self.counters: Dict[Tuple[str, LabelKey], float] = {}
         # (count, sum of values, min, max) over per-run final gauge values.
         self.gauges: Dict[Tuple[str, LabelKey], List[Any]] = {}
@@ -304,8 +323,14 @@ class _Rollup:
         self.trace = [0, 0, 0, 0]  # spans, instants, flows, dropped_names
         self.trace_names: Dict[str, List[float]] = {}
 
+    def clone(self) -> "_Rollup":
+        """Deep copy, so a live (streamed) rollup can be re-aggregated."""
+        return copy.deepcopy(self)
+
     def add(self, snap: TelemetrySnapshot) -> None:
         self.runs += 1
+        if snapshot_is_partial(snap):
+            self.partial += 1
         for c in snap.counters:
             key = (c.name, c.labels)
             self.counters[key] = self.counters.get(key, 0.0) + c.value
@@ -352,6 +377,7 @@ class _Rollup:
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "runs": self.runs,
+            "partial_runs": self.partial,
             "counters": [
                 {"name": name, "labels": dict(labels), "value": value}
                 for (name, labels), value in sorted(self.counters.items())
@@ -407,10 +433,24 @@ class FleetAggregator:
     (group key, meta) and folds them, so the output never depends on the
     order snapshots arrived — worker completion order, cache-hit order and
     serial order all aggregate identically.
+
+    :meth:`stream` is the bounded-memory incremental path the live fleet
+    service uses: each snapshot folds into persistent rollups the moment a
+    session reports, instead of being retained for a merge-at-end. The
+    streamed result is deterministic for a fixed arrival order (which the
+    virtual-clock service guarantees); the byte-for-byte
+    *order-independence* guarantee applies to the ``add`` path, whose
+    sorted fold is preserved unchanged. Both paths compose: ``aggregate``
+    folds any collected snapshots on top of a clone of the streamed state.
     """
 
     reservoir: int = DEFAULT_RESERVOIR
     _snapshots: List[TelemetrySnapshot] = field(default_factory=list)
+    _live_fleet: Optional[_Rollup] = None
+    _live_groups: Dict[str, _Rollup] = field(default_factory=dict)
+    _live_meta: Dict[str, List[Dict[str, str]]] = field(default_factory=dict)
+    _live_meta_dropped: Dict[str, int] = field(default_factory=dict)
+    _streamed: int = 0
 
     def add(self, snapshot: Optional[TelemetrySnapshot]) -> None:
         """Collect one snapshot (None — an unobserved run — is skipped)."""
@@ -421,29 +461,60 @@ class FleetAggregator:
         for snapshot in snapshots:
             self.add(snapshot)
 
+    def stream(self, snapshot: Optional[TelemetrySnapshot]) -> None:
+        """Fold one snapshot into the live rollups immediately.
+
+        Memory stays bounded by the number of distinct instruments and
+        groups, not the number of sessions: only the first
+        :data:`STREAM_META_CAP` metas per group are retained (the rest are
+        counted in ``meta_dropped``).
+        """
+        if snapshot is None:
+            return
+        if self._live_fleet is None:
+            self._live_fleet = _Rollup(self.reservoir)
+        self._streamed += 1
+        self._live_fleet.add(snapshot)
+        key = snapshot.group_key
+        self._live_groups.setdefault(key, _Rollup(self.reservoir)).add(snapshot)
+        metas = self._live_meta.setdefault(key, [])
+        if len(metas) < STREAM_META_CAP:
+            metas.append(snapshot.meta_dict)
+        else:
+            self._live_meta_dropped[key] = self._live_meta_dropped.get(key, 0) + 1
+
     def __len__(self) -> int:
-        return len(self._snapshots)
+        return len(self._snapshots) + self._streamed
 
     # -- rollup ------------------------------------------------------------
     def aggregate(self) -> Dict[str, Any]:
         """The fleet aggregate: per-group and fleet-level rollups + matrices."""
         ordered = sorted(self._snapshots, key=lambda s: (s.group_key, s.meta))
-        fleet = _Rollup(self.reservoir)
-        groups: Dict[str, _Rollup] = {}
-        group_meta: Dict[str, List[Dict[str, str]]] = {}
+        if self._live_fleet is not None:
+            fleet = self._live_fleet.clone()
+            groups = {key: roll.clone() for key, roll in self._live_groups.items()}
+            group_meta = {key: list(metas) for key, metas in self._live_meta.items()}
+        else:
+            fleet = _Rollup(self.reservoir)
+            groups = {}
+            group_meta = {}
         for snap in ordered:
             fleet.add(snap)
             groups.setdefault(snap.group_key, _Rollup(self.reservoir)).add(snap)
             group_meta.setdefault(snap.group_key, []).append(snap.meta_dict)
         out: Dict[str, Any] = {
             "schema": FLEET_SCHEMA,
-            "runs": len(ordered),
+            "runs": self._streamed + len(ordered),
+            "partial_runs": fleet.partial,
             "groups": {},
             "fleet": fleet.to_dict(),
         }
         for key in sorted(groups):
             entry = groups[key].to_dict()
-            entry["meta"] = group_meta[key]
+            entry["meta"] = sorted(group_meta[key], key=lambda m: sorted(m.items()))
+            dropped = self._live_meta_dropped.get(key, 0)
+            if dropped:
+                entry["meta_dropped"] = dropped
             out["groups"][key] = entry
         out["matrices"] = {
             "bus.utilization": self._matrix(groups, "bus.utilization", "link"),

@@ -35,3 +35,79 @@ def test_package_metadata():
 
     assert repro.__version__
     assert "SOSP 2024" in repro.__paper__
+
+
+# ---------------------------------------------------------------------------
+# fleetserve + chaos reproducer lines
+# ---------------------------------------------------------------------------
+
+def test_fleetserve_quick_cli(tmp_path, capsys):
+    out = tmp_path / "fleet.html"
+    report = tmp_path / "fleet.json"
+    rc = main(["fleetserve", "--quick", "--seed", "0",
+               "--out", str(out), "--report", str(report)])
+    captured = capsys.readouterr().out
+    assert rc == 0
+    assert "PASS: zero lost sessions" in captured
+    assert "REPRODUCE" not in captured
+    assert out.stat().st_size > 0
+
+    import json
+
+    data = json.loads(report.read_text())
+    assert data["summary"]["recovery"]["lost_sessions"] == 0
+    assert data["summary"]["balanced"]
+
+
+def test_fleetserve_failure_prints_seeded_reproducer(capsys):
+    # An impossible concurrency bar forces a failure deterministically.
+    from repro.experiments.fleetserve import QUICK_SHAPE, cmd_fleetserve
+
+    bar = QUICK_SHAPE["min_peak"]
+    try:
+        QUICK_SHAPE["min_peak"] = 10**9
+        rc = cmd_fleetserve(quick=True, seed=3)
+    finally:
+        QUICK_SHAPE["min_peak"] = bar
+    captured = capsys.readouterr().out
+    assert rc == 1
+    assert ("REPRODUCE: python -m repro.experiments fleetserve "
+            "--seed 3 --quick") in captured
+
+
+def test_chaos_fault_class_filter(capsys):
+    rc = main(["chaos", "--quick", "--fault-class", "device-stall"])
+    captured = capsys.readouterr().out
+    assert rc == 0
+    assert "device-stall" in captured
+    assert "bus-flap" not in captured  # filtered out
+    with pytest.raises(ValueError, match="unknown fault class"):
+        main(["chaos", "--quick", "--fault-class", "nope"])
+
+
+def test_chaos_failure_prints_seeded_reproducer(capsys, monkeypatch):
+    import repro.experiments.chaos as chaos_mod
+    from repro.experiments.__main__ import cmd_chaos
+
+    real = chaos_mod.run_fault_classes
+
+    def sabotaged(**kwargs):
+        results = real(**kwargs)
+        broken = dict(results)
+        label = "device-stall"
+        broken[label] = chaos_mod.ChaosResult(
+            emulator="vSoC", seed=kwargs.get("seed", 0),
+            duration_ms=results[label].duration_ms,
+            fps=0.0, steady_fps=0.0,
+            steady_after_ms=results[label].steady_after_ms,
+            presented=0, degrades=0, restores=0, time_degraded_ms=0.0,
+        )
+        return broken
+
+    monkeypatch.setattr(chaos_mod, "run_fault_classes", sabotaged)
+    rc = cmd_chaos(quick=True, seed=7, fault_class="device-stall")
+    captured = capsys.readouterr().out
+    assert rc == 1
+    assert "FAIL device-stall" in captured
+    assert ("REPRODUCE: python -m repro.experiments chaos "
+            "--seed 7 --fault-class device-stall --quick") in captured

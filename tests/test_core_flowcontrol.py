@@ -108,3 +108,59 @@ def test_window_oscillates_around_service_rate():
     assert fc.in_flight == 0
     assert fc.throttle_events > 0
     assert fc.window <= 256.0
+
+
+# ---------------------------------------------------------------------------
+# snapshot_state / restore_state hardening (live-migration wire path)
+# ---------------------------------------------------------------------------
+
+def test_restore_state_round_trips():
+    sim = Simulator()
+    src = MimdFlowControl(sim, initial_window=8.0)
+    assert src.try_dispatch() and src.try_dispatch()
+    state = src.snapshot_state()
+    dst = MimdFlowControl(sim, initial_window=64.0)
+    dst.restore_state(state)
+    assert dst.window == pytest.approx(src.window)
+    assert dst.in_flight == 2
+    assert dst.throttle_events == src.throttle_events
+
+
+def test_restore_state_rejects_non_dict():
+    fc = MimdFlowControl(Simulator(), initial_window=4.0)
+    with pytest.raises(ValueError, match="must be a dict"):
+        fc.restore_state([("window", 4.0)])
+
+
+def test_restore_state_names_missing_keys():
+    fc = MimdFlowControl(Simulator(), initial_window=4.0)
+    with pytest.raises(ValueError, match="missing keys.*in_flight"):
+        fc.restore_state({"window": 4.0, "throttle_events": 0})
+
+
+@pytest.mark.parametrize("window", [float("nan"), float("inf"), -1.0, 0.0,
+                                    "4", True, None])
+def test_restore_state_rejects_bad_window(window):
+    fc = MimdFlowControl(Simulator(), initial_window=4.0)
+    with pytest.raises(ValueError, match="window"):
+        fc.restore_state({"window": window, "in_flight": 0,
+                          "throttle_events": 0})
+
+
+@pytest.mark.parametrize("key", ["in_flight", "throttle_events"])
+@pytest.mark.parametrize("value", [-1, 1.5, True, "3", None])
+def test_restore_state_rejects_bad_counters(key, value):
+    fc = MimdFlowControl(Simulator(), initial_window=4.0)
+    state = {"window": 4.0, "in_flight": 0, "throttle_events": 0, key: value}
+    with pytest.raises(ValueError, match=key):
+        fc.restore_state(state)
+
+
+def test_failed_restore_leaves_state_untouched():
+    fc = MimdFlowControl(Simulator(), initial_window=4.0)
+    assert fc.try_dispatch()
+    with pytest.raises(ValueError):
+        fc.restore_state({"window": float("nan"), "in_flight": 0,
+                          "throttle_events": 0})
+    assert fc.window == pytest.approx(4.0)
+    assert fc.in_flight == 1

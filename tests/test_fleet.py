@@ -293,3 +293,95 @@ def test_cmd_dashboard_writes_report(tmp_path, monkeypatch):
     data = json.loads(snap.read_text())
     assert validate_fleet_snapshot(data) == []
     assert data["runs"] == 6
+
+
+# ---------------------------------------------------------------------------
+# Partial / truncated snapshot merging (fleet service streaming)
+# ---------------------------------------------------------------------------
+
+def _session_snap(worker, session, frames, partial=False, app="ar"):
+    """A hand-built per-session snapshot like the fleet service streams."""
+    from repro.obs.fleet import CounterSample, GaugeSample, _labels_key
+
+    meta = {"emulator": worker, "app": app, "session": session}
+    if partial:
+        meta["partial"] = "true"
+    labels = _labels_key({"app": app})
+    return TelemetrySnapshot(
+        meta=_labels_key(meta),
+        counters=(CounterSample("session.frames", labels, float(frames)),),
+        gauges=(GaugeSample("session.fps", labels, 60.0),),
+    )
+
+
+def test_partial_snapshots_are_flagged_not_absorbed():
+    agg = FleetAggregator()
+    agg.add(_session_snap("w0", "s0", 100))
+    agg.add(_session_snap("w0", "s1", 40, partial=True))
+    agg.add(_session_snap("w1", "s2", 7, partial=True))
+    out = agg.aggregate()
+    assert out["runs"] == 3
+    assert out["partial_runs"] == 2
+    # The partial contributions still count into the merged totals.
+    total = sum(
+        c["value"]
+        for g in out["groups"].values()
+        for c in g["counters"]
+        if c["name"] == "session.frames"
+    )
+    assert total == pytest.approx(147.0)
+
+
+def test_truncated_snapshot_with_no_instruments_merges_cleanly():
+    agg = FleetAggregator()
+    agg.add(_session_snap("w0", "s0", 50))
+    agg.add(TelemetrySnapshot(meta=(("app", "ar"), ("emulator", "w0"),
+                                    ("partial", "true"))))
+    out = agg.aggregate()
+    assert out["runs"] == 2
+    assert out["partial_runs"] == 1
+
+
+def test_partial_merge_is_order_independent():
+    snaps = [
+        _session_snap("w0", "s0", 100),
+        _session_snap("w0", "s1", 40, partial=True),
+        _session_snap("w1", "s2", 7, partial=True),
+        _session_snap("w1", "s3", 33),
+    ]
+    forward, backward = FleetAggregator(), FleetAggregator()
+    for snap in snaps:
+        forward.add(snap)
+    for snap in reversed(snaps):
+        backward.add(snap)
+    assert forward.aggregate_json() == backward.aggregate_json()
+
+
+def test_streamed_and_added_partials_compose():
+    streamed = FleetAggregator()
+    for i in range(4):
+        streamed.stream(_session_snap("w0", f"s{i}", 10 * i, partial=i % 2 == 0))
+    streamed.add(_session_snap("w1", "late", 5, partial=True))
+    out = streamed.aggregate()
+    assert len(streamed) == 5
+    assert out["runs"] == 5
+    assert out["partial_runs"] == 3
+    # aggregate() must not consume the live stream state.
+    assert streamed.aggregate_json() == streamed.aggregate_json()
+
+
+def test_streaming_caps_retained_metas():
+    from repro.obs.fleet import STREAM_META_CAP
+
+    agg = FleetAggregator()
+    n = STREAM_META_CAP + 9
+    for i in range(n):
+        agg.stream(_session_snap("w0", f"s{i:03d}", i))
+    out = agg.aggregate()
+    (group,) = out["groups"].values()
+    assert group["runs"] == n
+    assert len(group["meta"]) == STREAM_META_CAP
+    assert group["meta_dropped"] == 9
+    # Totals are unaffected by meta truncation.
+    (frames,) = [c for c in group["counters"] if c["name"] == "session.frames"]
+    assert frames["value"] == pytest.approx(sum(range(n)))

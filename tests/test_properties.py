@@ -140,3 +140,56 @@ def test_fifo_queue_conserves_items(ops):
             put_items.append(op)
     assert got_items == put_items[: len(got_items)]  # FIFO order
     assert len(got_items) + len(queue) == len(put_items)
+
+
+# --- RetryPolicy backoff ladder -------------------------------------------------
+
+@given(
+    base=st.floats(min_value=1e-3, max_value=50.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    cap=st.floats(min_value=1e-3, max_value=500.0),
+    tries=st.integers(min_value=2, max_value=40),
+)
+@settings(max_examples=100)
+def test_retry_delay_monotone_capped_and_repeatable(base, multiplier, cap,
+                                                    tries):
+    """The backoff ladder never shrinks, never exceeds the cap, and is a
+    pure function of its inputs (same policy, same answers)."""
+    from repro.sim.resilience import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=None, base_delay_ms=base,
+                         multiplier=multiplier, max_delay_ms=cap)
+    delays = [policy.delay_before_retry(n) for n in range(1, tries + 1)]
+    assert all(later >= earlier
+               for earlier, later in zip(delays, delays[1:]))
+    assert all(0.0 <= delay <= cap for delay in delays)
+    assert delays == [policy.delay_before_retry(n)
+                      for n in range(1, tries + 1)]
+
+
+def test_retry_delay_deterministic_across_process_boundary():
+    """A restart ladder computed in a fresh interpreter is bit-identical —
+    the supervisor's restart schedule survives checkpoint/restore."""
+    import os
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.sim.resilience import RetryPolicy\n"
+        "p = RetryPolicy(max_attempts=None, base_delay_ms=0.07,"
+        " multiplier=1.7, max_delay_ms=123.4)\n"
+        "print(repr([p.delay_before_retry(n) for n in range(1, 30)]))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    outputs = [
+        subprocess.run([sys.executable, "-c", code], capture_output=True,
+                       text=True, env=env, check=True).stdout.strip()
+        for _ in range(2)
+    ]
+    from repro.sim.resilience import RetryPolicy
+
+    local = RetryPolicy(max_attempts=None, base_delay_ms=0.07,
+                        multiplier=1.7, max_delay_ms=123.4)
+    expected = repr([local.delay_before_retry(n) for n in range(1, 30)])
+    assert outputs[0] == outputs[1] == expected
