@@ -12,7 +12,9 @@ Usage::
     python -m repro.experiments recover [--quick] [--report audit.json]
     python -m repro.experiments chaos [--seed 0] [--fault-class device-crash]
     python -m repro.experiments fleetserve [--quick] [--seed 0] \
-        [--out fleet.html] [--report fleet.json]
+        [--out fleet.html] [--report fleet.json] [--live out/]
+    python -m repro.experiments flightdeck --events out/events.jsonl \
+        [--out flightdeck.html]
 
 Each command prints the regenerated rows/series next to the paper's
 reference values. ``--quick`` shortens simulated durations and app counts
@@ -406,7 +408,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         choices=[*COMMANDS, "all", "observe", "bench",
-                                 "dashboard", "recover", "fleetserve"])
+                                 "dashboard", "recover", "fleetserve",
+                                 "flightdeck"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -465,6 +468,14 @@ def main(argv=None) -> int:
                              help="override the simulation-worker pool size")
     fleet_group.add_argument("--crashes", type=int, default=None, metavar="N",
                              help="override the injected worker-crash count")
+    fleet_group.add_argument("--live", metavar="DIR", default=None,
+                             help="record the run: streaming event log, "
+                                  "live-refreshing dashboard, and "
+                                  "Chrome/Perfetto trace land in DIR")
+    deck_group = parser.add_argument_group("flightdeck options")
+    deck_group.add_argument("--events", metavar="PATH", default=None,
+                            help="recorded event log (JSONL) to replay "
+                                 "into the dashboard")
     args = parser.parse_args(argv)
     from repro.experiments import engine
 
@@ -515,8 +526,15 @@ def main(argv=None) -> int:
         return cmd_fleetserve(
             quick=args.quick, seed=args.seed, out_path=args.out,
             report_path=args.report, crashes=args.crashes,
-            workers=args.workers,
+            workers=args.workers, live_dir=args.live,
         )
+    if args.experiment == "flightdeck":
+        from repro.experiments.fleetserve import cmd_flightdeck
+
+        if not args.events:
+            parser.error("flightdeck needs --events PATH (a recorded "
+                         "events.jsonl)")
+        return cmd_flightdeck(events_path=args.events, out_path=args.out)
     if args.experiment == "chaos":
         return cmd_chaos(args.quick, seed=args.seed,
                          fault_class=args.fault_class)

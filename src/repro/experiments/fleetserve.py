@@ -18,9 +18,17 @@ one-line seeded reproducer command.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Optional
 
-from repro.fleet import FleetService, FlashCrowd, crash_storm_plan, generate_trace
+from repro.fleet import (
+    FleetService,
+    FlashCrowd,
+    FlightRecorder,
+    crash_storm_plan,
+    generate_trace,
+)
+from repro.obs.events import EventLog
 
 #: Demo sizes: (workers, capacity, horizon ms, arrivals/s, mean session ms,
 #: crashes, min peak concurrency the run must sustain).
@@ -39,8 +47,17 @@ def run_fleetserve(
     quick: bool = False,
     crashes: Optional[int] = None,
     workers: Optional[int] = None,
+    live_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """One seeded fleet run; returns the service's full report."""
+    """One seeded fleet run; returns the service's full report.
+
+    ``live_dir`` turns on the flight recorder: a streaming event log
+    (``events.jsonl``), a live-refreshing dashboard (``fleet.html``)
+    re-rendered from that log on a virtual-time cadence mid-run, and a
+    Chrome/Perfetto trace (``trace.json``) land in the directory. The
+    recorder only reads the virtual clock, so every number in the report
+    is byte-identical with and without it (the tests prove this).
+    """
     shape = dict(QUICK_SHAPE if quick else FULL_SHAPE)
     if crashes is not None:
         shape["crashes"] = crashes
@@ -73,16 +90,72 @@ def run_fleetserve(
         initial_window=1_024.0,
         max_window=16_384.0,
     )
-    service.serve(trace, plan=plan)
+    recorder = None
+    if live_dir is not None:
+        from repro.obs.dashboard import write_dashboard
+        from repro.obs.flightdeck import render_flight_dashboard
+
+        os.makedirs(live_dir, exist_ok=True)
+        events_path = os.path.join(live_dir, "events.jsonl")
+        html_path = os.path.join(live_dir, "fleet.html")
+        recorder = FlightRecorder(
+            service.clock,
+            events=EventLog(service.clock, path=events_path),
+        )
+
+        def _render_live(rec: FlightRecorder) -> None:
+            # Mid-run incremental render from the events so far; the
+            # refresh header makes a watching browser re-read the file.
+            write_dashboard(html_path, render_flight_dashboard(
+                rec.events.records, refresh_s=2.0,
+            ))
+
+        recorder.on_cadence = _render_live
+        service.attach_recorder(recorder)
+    try:
+        service.serve(trace, plan=plan)
+    finally:
+        if recorder is not None:
+            recorder.close()
     report = service.report()
     report["shape"] = {k: shape[k] for k in sorted(shape)}
     report["seed"] = seed
+    if recorder is not None:
+        # Final render drops the refresh header — byte-identical to a
+        # flightdeck replay of the completed event log.
+        write_dashboard(html_path, render_flight_dashboard(
+            recorder.events.records,
+        ))
+        trace_path = os.path.join(live_dir, "trace.json")
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            json.dump(recorder.export_trace(), fh, sort_keys=True)
+            fh.write("\n")
+        report["artifacts"] = {
+            "events": events_path,
+            "dashboard": html_path,
+            "trace": trace_path,
+        }
     return report
 
 
-def _reproducer(seed: int, quick: bool) -> str:
-    quick_flag = " --quick" if quick else ""
-    return f"REPRODUCE: python -m repro.experiments fleetserve --seed {seed}{quick_flag}"
+def _reproducer(
+    seed: int,
+    quick: bool,
+    crashes: Optional[int] = None,
+    workers: Optional[int] = None,
+    live_dir: Optional[str] = None,
+) -> str:
+    """The one-line seeded command that replays this exact run."""
+    cmd = f"REPRODUCE: python -m repro.experiments fleetserve --seed {seed}"
+    if quick:
+        cmd += " --quick"
+    if workers is not None:
+        cmd += f" --workers {workers}"
+    if crashes is not None:
+        cmd += f" --crashes {crashes}"
+    if live_dir is not None:
+        cmd += f" --live {live_dir}"
+    return cmd
 
 
 def check_fleetserve(report: Dict[str, Any]) -> list:
@@ -121,10 +194,19 @@ def cmd_fleetserve(
     report_path: Optional[str] = None,
     crashes: Optional[int] = None,
     workers: Optional[int] = None,
+    live_dir: Optional[str] = None,
 ) -> int:
-    report = run_fleetserve(
-        seed=seed, quick=quick, crashes=crashes, workers=workers
-    )
+    reproduce = _reproducer(seed, quick, crashes, workers, live_dir)
+    try:
+        report = run_fleetserve(
+            seed=seed, quick=quick, crashes=crashes, workers=workers,
+            live_dir=live_dir,
+        )
+    except Exception:
+        # A crashed run is replayable from the log alone: the command
+        # below regenerates the trace, the fault plan, and the failure.
+        print(reproduce)
+        raise
     summary = report["summary"]
     stats = summary["stats"]
     recovery = summary["recovery"]
@@ -153,6 +235,13 @@ def cmd_fleetserve(
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"  report JSON -> {report_path}")
+    if "recorder" in report:
+        rec = report["recorder"]
+        print(f"  flight recorder: {rec['events']} events, "
+              f"{rec['spans']} spans over {rec['flows']} flows "
+              f"({rec['dropped_spans']} dropped)")
+        for label, path in sorted(report.get("artifacts", {}).items()):
+            print(f"  {label} -> {path}")
     if out_path:
         from repro.obs.dashboard import render_dashboard, write_dashboard
 
@@ -167,8 +256,41 @@ def cmd_fleetserve(
         print("\nFAIL:")
         for failure in failures:
             print(f"  - {failure}")
-        print(_reproducer(seed, quick))
+        print(reproduce)
         return 1
     print("\nPASS: zero lost sessions, accounting balanced, "
           f"peak {stats['peak_concurrent']} >= {report['shape']['min_peak']}")
+    return 0
+
+
+def cmd_flightdeck(
+    events_path: str,
+    out_path: Optional[str] = None,
+) -> int:
+    """Replay a recorded fleet event log into the dashboard.
+
+    Validates the log first; a complete log replays to the exact bytes
+    the live run's final render produced.
+    """
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.events import read_event_log, validate_fleet_events
+    from repro.obs.flightdeck import render_flight_dashboard
+
+    records = read_event_log(events_path)
+    problems = validate_fleet_events(records)
+    print(f"Flightdeck replay of {events_path}: {len(records)} events")
+    if problems:
+        print("FAIL: event log is not schema-valid:")
+        for problem in problems[:20]:
+            print(f"  - {problem}")
+        return 1
+    kinds: Dict[str, int] = {}
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    for kind in sorted(kinds):
+        print(f"  {kind}: {kinds[kind]}")
+    html = render_flight_dashboard(records)
+    out_path = out_path or "flightdeck.html"
+    write_dashboard(out_path, html)
+    print(f"  dashboard -> {out_path}")
     return 0

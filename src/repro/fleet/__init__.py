@@ -21,6 +21,7 @@ from repro.fleet.migration import (
     migrate_session,
     restore_session,
 )
+from repro.fleet.recorder import NULL_RECORDER, FlightRecorder
 from repro.fleet.service import FleetService, FleetStats, LoadPredictor
 from repro.fleet.supervisor import FleetRecoveryStats, WorkerSupervisor
 from repro.fleet.worker import QUANTUM_MS, SessionSim, SimWorker
@@ -34,8 +35,10 @@ __all__ = [
     "FleetRecoveryStats",
     "FleetService",
     "FleetStats",
+    "FlightRecorder",
     "LoadPredictor",
     "MigrationRecord",
+    "NULL_RECORDER",
     "QUANTUM_MS",
     "SessionSim",
     "SessionSpec",

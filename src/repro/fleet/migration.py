@@ -49,6 +49,8 @@ class MigrationRecord:
     at_ms: float
     reason: str
     digest: str
+    #: Size of the canonical-JSON wire image that crossed the boundary.
+    wire_bytes: int = 0
 
 
 def capture_session(session: SessionSim) -> Snapshot:
@@ -119,4 +121,5 @@ def migrate_session(
         at_ms=source.clock.now,
         reason=reason,
         digest=snapshot.digest(),
+        wire_bytes=len(payload),
     )

@@ -44,6 +44,7 @@ from repro.faults.plan import FaultPlan, WorkerFaultEvent
 from repro.fleet.arrivals import ArrivalTrace, SessionSpec
 from repro.fleet.clock import VirtualClock
 from repro.fleet.migration import MigrationRecord, migrate_session
+from repro.fleet.recorder import NULL_RECORDER, FlightRecorder
 from repro.fleet.supervisor import FleetRecoveryStats, WorkerSupervisor
 from repro.fleet.worker import SessionSim, SimWorker
 from repro.obs.fleet import (
@@ -196,6 +197,19 @@ class FleetService:
         self.migrations: List[MigrationRecord] = []
         self._conc_timeline: List[Tuple[float, float]] = []
         self._summary: Optional[Dict[str, Any]] = None
+        self.recorder: FlightRecorder = NULL_RECORDER
+
+    def attach_recorder(self, recorder: FlightRecorder) -> None:
+        """Install a flight recorder across the whole control plane.
+
+        The recorder only ever *reads* the virtual clock, so attaching
+        one cannot perturb the run: summary and per-session outcomes are
+        byte-identical with and without it (test-proven).
+        """
+        self.recorder = recorder
+        self.supervisor.recorder = recorder
+        for worker in self.workers.values():
+            worker.recorder = recorder
 
     # -- admission -----------------------------------------------------------
     def _shed_floor(self, level: int) -> int:
@@ -209,26 +223,36 @@ class FleetService:
     def offer(self, spec: SessionSpec) -> bool:
         """Admit-or-shed one arriving session request."""
         self.stats.offered += 1
+        self.recorder.offered(spec)
         level = self.degradation.plan_level()
         if spec.priority > self._shed_floor(level):
             self.stats.shed_degraded += 1
             self._shed_log.append((spec.session_id, "degraded"))
+            self.recorder.shed(spec, "degraded")
             return False
         worker = self._place(spec)
         if worker is None:
             self.degradation.note_failure(level, reason="capacity")
             self.stats.shed_capacity += 1
             self._shed_log.append((spec.session_id, "capacity"))
+            self.recorder.shed(spec, "capacity")
             return False
+        self.recorder.placed(
+            spec, worker.name,
+            self.predictor.predict(spec.app, spec.load),
+            worker.load_factor(),
+        )
         if not self.flow.try_dispatch():
             self.degradation.note_failure(level, reason="window")
             self.stats.shed_flow += 1
             self._shed_log.append((spec.session_id, "window"))
+            self.recorder.shed(spec, "window")
             return False
         worker.start_session(spec)
         self.stats.admitted += 1
         self._owner[spec.session_id] = worker.name
         self._unconfirmed[spec.session_id] = worker.name
+        self.recorder.admitted(spec, worker.name)
         return True
 
     def _confirm(self, session_id: str) -> None:
@@ -237,6 +261,7 @@ class FleetService:
         self.flow.complete()
         self.degradation.note_success(self.degradation.plan_level())
         self.stats.confirmed += 1
+        self.recorder.confirmed(session_id)
 
     # -- placement -----------------------------------------------------------
     def _place(self, spec: SessionSpec) -> Optional[SimWorker]:
@@ -278,6 +303,7 @@ class FleetService:
             self._confirm(session_id)
         self._owner.pop(session_id, None)
         self.stats.completed += 1
+        self.recorder.completed(worker.name, session)
         snapshot = session.telemetry(worker.name)
         self.predictor.observe_snapshot(snapshot)
         self.aggregator.stream(snapshot)
@@ -290,6 +316,7 @@ class FleetService:
             self.flow.complete()
         self._owner.pop(session_id, None)
         self.stats.lost += 1
+        self.recorder.lost(worker_name, session)
 
     def _on_migrated(self, record: MigrationRecord) -> None:
         self.migrations.append(record)
@@ -299,6 +326,7 @@ class FleetService:
         self._owner[record.session_id] = record.target
         if record.session_id in self._unconfirmed:
             self._unconfirmed[record.session_id] = record.target
+        self.recorder.migrated(record)
 
     # -- worker faults -------------------------------------------------------
     def apply_plan(self, plan: FaultPlan) -> None:
@@ -315,6 +343,7 @@ class FleetService:
         worker = self.workers.get(event.worker)
         if worker is None:
             raise FleetError(f"fault plan names unknown worker {event.worker!r}")
+        self.recorder.fault_injected(event)
         if event.kind == "crash":
             worker.crash()
             self.supervisor.mark_down(
@@ -335,6 +364,9 @@ class FleetService:
         self.stats.peak_concurrent = max(self.stats.peak_concurrent, live)
         if len(self._conc_timeline) < CONCURRENCY_TIMELINE_CAP:
             self._conc_timeline.append((now, float(live)))
+        self.recorder.control_tick(
+            live, self.flow.window, self.degradation.level
+        )
         for session_id in list(self._unconfirmed):
             owner = self._unconfirmed[session_id]
             worker = self.workers.get(owner)
@@ -395,6 +427,7 @@ class FleetService:
     ) -> Dict[str, Any]:
         if plan is not None:
             self.apply_plan(plan)
+        self.recorder.run_started(trace, len(self.workers), until)
         for name in sorted(self.workers):
             worker = self.workers[name]
             self.clock.spawn(worker.run(), name=f"worker.{name}")
@@ -405,6 +438,7 @@ class FleetService:
         self.supervisor.stop()
         self.clock.raise_task_failures()
         self._summary = self._build_summary(trace, until)
+        self.recorder.run_ended(self._summary)
         return self._summary
 
     # -- reporting -----------------------------------------------------------
@@ -482,7 +516,7 @@ class FleetService:
         """Summary + full telemetry aggregate (the JSON artifact surface)."""
         if self._summary is None:
             raise FleetError("report() before serve(): nothing has run yet")
-        return {
+        out: Dict[str, Any] = {
             "summary": self._summary,
             "sheds": [
                 {"session": sid, "reason": reason}
@@ -497,3 +531,7 @@ class FleetService:
             ],
             "aggregate": self.aggregator.aggregate(),
         }
+        if self.recorder.enabled:
+            # Additive: everything above is byte-identical recorder-off.
+            out["recorder"] = self.recorder.summary()
+        return out

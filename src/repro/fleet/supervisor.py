@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.fleet.clock import VirtualClock
 from repro.fleet.migration import MigrationRecord, migrate_session
+from repro.fleet.recorder import NULL_RECORDER
 from repro.fleet.worker import CRASHED, RETIRED, RUNNING, SessionSim, SimWorker
 from repro.obs.fleet import TelemetrySnapshot
 from repro.recovery.coordinator import RecoveryStats
@@ -98,6 +99,7 @@ class WorkerSupervisor:
         self.on_lost: Optional[LostFn] = None
         self.on_migrated: Optional[MigratedFn] = None
         self.on_partial_telemetry: Optional[TelemetryFn] = None
+        self.recorder = NULL_RECORDER  # installed by attach_recorder
         self._incidents: Set[str] = set()
         self._stopped = False
 
@@ -134,6 +136,7 @@ class WorkerSupervisor:
             worker = self.workers[name]
             if self.declared_dead(worker, now):
                 self._incidents.add(name)
+                self.recorder.worker_dead(name, now - worker.last_beat)
                 self.clock.spawn(
                     self._handle_failure(name), name=f"supervise.{name}"
                 )
@@ -145,6 +148,7 @@ class WorkerSupervisor:
         # revenant and double-advance sessions that were migrated away.
         if worker.state == RUNNING:
             worker.crash()
+        self.recorder.worker_fenced(name)
         self.stats.crashes += 1
         await self._drain(worker)
         await self._restart(worker)
@@ -153,6 +157,9 @@ class WorkerSupervisor:
     async def _drain(self, worker: SimWorker) -> None:
         """Evacuate every stranded session, bounded by a drain deadline."""
         self.stats.drains += 1
+        span = self.recorder.drain_started(worker.name)
+        evac_before = self.stats.evacuated_sessions
+        lost_before = self.stats.lost_sessions
         deadline = Deadline(
             self.clock, self.drain_timeout_ms, label=f"drain.{worker.name}"
         )
@@ -168,10 +175,17 @@ class WorkerSupervisor:
                     await self.clock.sleep(self.drain_pause_ms)
         finally:
             deadline.cancel()
+        timed_out = bool(pending)
         if pending:
             self.stats.drain_timeouts += 1
             for session_id in pending:
                 self._lose(worker, session_id)
+        self.recorder.drain_finished(
+            worker.name, span,
+            self.stats.evacuated_sessions - evac_before,
+            self.stats.lost_sessions - lost_before,
+            timed_out,
+        )
 
     def _evacuate_one(self, worker: SimWorker, session_id: str) -> None:
         session = worker.sessions.get(session_id)
@@ -215,8 +229,10 @@ class WorkerSupervisor:
                 worker.revive()
                 self.stats.recoveries += 1
                 self.stats.worker_restarts += 1
+                self.recorder.worker_restarted(worker.name, attempts)
                 return
             if self.restart_policy.exhausted(attempts):
                 worker.retire()
                 self.stats.retired_workers += 1
+                self.recorder.worker_retired(worker.name, attempts)
                 return

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import ConfigurationError, FleetError
 from repro.fleet.arrivals import SessionSpec
 from repro.fleet.clock import VirtualClock
+from repro.fleet.recorder import NULL_RECORDER
 from repro.obs.fleet import CounterSample, GaugeSample, TelemetrySnapshot, _labels_key
 
 #: Session-local advancement quantum (ms). One jitter draw per quantum.
@@ -247,6 +248,7 @@ class SimWorker:
         self.started = 0
         self.completed = 0
         self.crashes = 0
+        self.recorder = NULL_RECORDER  # installed by attach_recorder
 
     # -- capacity ------------------------------------------------------------
     @property
@@ -359,7 +361,10 @@ class SimWorker:
         factor = self.service_factor()
         finished: List[SessionSim] = []
         for session in self.sessions.values():
-            session.advance(now, factor)
+            first = session.quanta
+            newly = session.advance(now, factor)
+            if session.quanta > first or session.done:
+                self.recorder.quantum(self.name, session, first, newly)
             if session.done:
                 finished.append(session)
         for session in finished:

@@ -27,6 +27,12 @@ from __future__ import annotations
 from typing import Any, Dict, Mapping, Optional
 
 from repro.obs.baseline import RegressionSentinel, SentinelReport
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    read_event_log,
+    validate_fleet_events,
+)
 from repro.obs.export import (
     chrome_trace,
     connected_flows,
@@ -53,6 +59,8 @@ from repro.obs.registry import (
 from repro.obs.span import NO_FLOW, NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
+    "EVENTS_SCHEMA",
+    "EventLog",
     "NO_FLOW",
     "NULL_INSTRUMENT",
     "NULL_REGISTRY",
@@ -75,7 +83,9 @@ __all__ = [
     "chrome_trace",
     "connected_flows",
     "metrics_json",
+    "read_event_log",
     "validate_chrome_trace",
+    "validate_fleet_events",
     "validate_fleet_snapshot",
     "write_chrome_trace",
     "write_metrics",

@@ -484,14 +484,27 @@ def render_dashboard(
     history: Optional[List[Dict[str, Any]]] = None,
     sentinel: Optional[Dict[str, Any]] = None,
     title: str = "vSoC fleet telemetry",
+    refresh_s: Optional[float] = None,
+    extra_html: str = "",
 ) -> str:
-    """One self-contained HTML page from the fleet aggregate."""
+    """One self-contained HTML page from the fleet aggregate.
+
+    ``refresh_s`` adds a ``<meta http-equiv="refresh">`` header — the live
+    mid-run dashboard sets it so a browser pointed at the file re-reads
+    each incremental render, and the final render drops it. ``extra_html``
+    is injected after the stat tiles (the flight recorder's ops section).
+    """
     history = history or []
     payload = json.dumps(aggregate, sort_keys=True, separators=(",", ":"))
+    refresh = (
+        f'<meta http-equiv="refresh" content="{refresh_s:g}">'
+        if refresh_s is not None else ""
+    )
     parts = [
         "<!DOCTYPE html>",
         '<html lang="en"><head><meta charset="utf-8">',
-        '<meta name="viewport" content="width=device-width, initial-scale=1">',
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        + refresh,
         f"<title>{_esc(title)}</title>",
         f"<style>{_series_css()}</style>",
         "</head><body><main>",
@@ -501,6 +514,7 @@ def render_dashboard(
         f'{len(aggregate.get("groups", {}))} emulator × app cells; '
         "deterministic aggregate (parallel ≡ serial ≡ warm cache)</p>",
         _tiles(aggregate),
+        extra_html,
         "<h2>Per-cell rollup</h2>",
         _group_table(aggregate),
         "<h2>Where simulated time goes (self-profile flamegraph)</h2>",

@@ -82,12 +82,19 @@ class _TrackTable:
         return events
 
 
+#: Span-arg keys the exporter lifts to the event top level: a span
+#: carrying ``bind_id=...`` plus ``flow_out``/``flow_in`` becomes one end
+#: of a v2 flow arrow (the cross-worker migration links use this).
+_BIND_KEYS = ("bind_id", "flow_out", "flow_in")
+
+
 def _span_event(span: Span, pid: int, tid: int, end_time: float) -> Dict[str, Any]:
     end = span.end if span.end is not None else end_time
-    args = {k: _jsonable(v) for k, v in span.args.items()}
+    args = {k: _jsonable(v) for k, v in span.args.items()
+            if k not in _BIND_KEYS}
     if span.flow != NO_FLOW:
         args["flow"] = span.flow
-    return {
+    event = {
         "ph": "X",
         "name": span.name,
         "cat": span.cat,
@@ -97,6 +104,12 @@ def _span_event(span: Span, pid: int, tid: int, end_time: float) -> Dict[str, An
         "tid": tid,
         "args": args,
     }
+    if "bind_id" in span.args:
+        event["bind_id"] = _jsonable(span.args["bind_id"])
+        for key in ("flow_out", "flow_in"):
+            if span.args.get(key):
+                event[key] = True
+    return event
 
 
 def _instant_event(span: Span, pid: int, tid: int) -> Dict[str, Any]:
@@ -192,8 +205,19 @@ def chrome_trace(
     for span in tracer.instants:
         pid, tid = table.ids_for(span.track)
         events.append(_instant_event(span, pid, tid))
-    for flow in tracer.flows():
-        events.extend(_flow_events(flow, tracer.spans_of_flow(flow), table))
+    # Single pass over the spans to group by flow (equivalent to calling
+    # spans_of_flow per flow, but O(spans) instead of O(flows × spans) —
+    # a fleet trace has one flow per session, so the quadratic walk bites).
+    by_flow: Dict[int, List[Span]] = {}
+    for span in tracer.spans:
+        if span.flow != NO_FLOW:
+            by_flow.setdefault(span.flow, []).append(span)
+    for span in tracer.instants:
+        if span.flow != NO_FLOW:
+            by_flow.setdefault(span.flow, []).append(span)
+    for flow in sorted(by_flow):
+        chain = sorted(by_flow[flow], key=lambda s: (s.start, s.span_id))
+        events.extend(_flow_events(flow, chain, table))
     if tracelog is not None:
         events.extend(tracelog_events(tracelog, table))
     # Stable sort on ts only: flow events are appended in chain order, so

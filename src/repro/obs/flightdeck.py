@@ -1,0 +1,209 @@
+"""Flightdeck: rebuild the fleet dashboard from a flight-recorder log.
+
+The flight recorder's event log (:mod:`repro.obs.events`) is the durable
+record of a fleet run. This module *folds* that stream back into the
+exact telemetry the live service aggregated, which makes two things
+possible with one code path:
+
+* the **live dashboard** — ``fleetserve --live`` re-renders the HTML
+  from the events emitted so far on a virtual-time cadence, so a browser
+  pointed at the file watches the run unfold;
+* the **after-the-fact replay** — ``python -m repro.experiments
+  flightdeck --events out/events.jsonl`` rebuilds the same dashboard
+  from the log alone.
+
+The fold is engineered to be byte-exact: replaying a complete log
+produces an aggregate identical to ``FleetService.report()["aggregate"]``
+(same snapshots, same stream order), so the final live render and the
+replay render are the same bytes — test-proven. That works because every
+``session.complete`` / ``session.lost`` event carries exactly the fields
+``SessionSim.telemetry()`` derives its snapshot from, events are emitted
+in stream order, and JSON round-trips floats exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.dashboard import _line_chart, render_dashboard
+from repro.obs.fleet import (
+    CounterSample,
+    FleetAggregator,
+    GaugeSample,
+    TelemetrySnapshot,
+    _labels_key,
+)
+
+#: Mirrors ``FleetService`` — first N control ticks kept on the timeline.
+CONCURRENCY_TIMELINE_CAP = 4_096
+
+
+def _session_snapshot(event: Dict[str, Any], partial: bool) -> TelemetrySnapshot:
+    """Rebuild one session's telemetry snapshot from its terminal event.
+
+    Field-for-field the same construction as ``SessionSim.telemetry()``,
+    so the folded snapshot is equal (not merely equivalent) to the one
+    the live service streamed.
+    """
+    meta: Dict[str, str] = {
+        "emulator": event["worker"],
+        "app": event["app"],
+        "session": event["session"],
+        "priority": str(event["priority"]),
+    }
+    if partial:
+        meta["partial"] = "true"
+    labels = _labels_key({"app": event["app"]})
+    return TelemetrySnapshot(
+        meta=_labels_key(meta),
+        counters=(
+            CounterSample("session.frames", labels, float(event["frames"])),
+            CounterSample("session.completed", labels, 0.0 if partial else 1.0),
+        ),
+        gauges=(
+            GaugeSample("session.fps", labels, event["fps"]),
+            GaugeSample("session.latency_ms", labels, event["latency_ms"]),
+            GaugeSample("session.load", labels, event["load"]),
+        ),
+    )
+
+
+def _fleet_snapshot(
+    end: Dict[str, Any], timeline: List[Tuple[float, float]]
+) -> TelemetrySnapshot:
+    """Rebuild the service's final control-plane snapshot from ``run.end``."""
+    plain = _labels_key({})
+    return TelemetrySnapshot(
+        meta=_labels_key({"emulator": "fleet", "app": "control"}),
+        counters=tuple(
+            CounterSample(f"fleet.{name}", plain, float(value))
+            for name, value in sorted(end["stats"].items())
+        ),
+        gauges=(
+            GaugeSample(
+                "fleet.concurrent", plain, float(end["active"]),
+                tuple(timeline),
+            ),
+            GaugeSample("fleet.admission_window", plain, float(end["window"])),
+            GaugeSample("fleet.degradation_level", plain, float(end["level"])),
+        ),
+    )
+
+
+def replay_aggregator(records: Iterable[Dict[str, Any]]) -> FleetAggregator:
+    """Fold an event stream into the aggregator the live run would hold.
+
+    Snapshots are streamed in event order — which *is* the live stream
+    order — so a complete log folds to an aggregate byte-identical to the
+    one in ``FleetService.report()``.
+    """
+    aggregator = FleetAggregator()
+    timeline: List[Tuple[float, float]] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "session.complete":
+            aggregator.stream(_session_snapshot(record, partial=False))
+        elif kind == "session.lost":
+            aggregator.stream(_session_snapshot(record, partial=True))
+        elif kind == "control.tick":
+            if len(timeline) < CONCURRENCY_TIMELINE_CAP:
+                timeline.append((record["t_ms"], float(record["live"])))
+        elif kind == "run.end":
+            aggregator.stream(_fleet_snapshot(record, timeline))
+    return aggregator
+
+
+def replay_aggregate(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """The fleet aggregate a log folds to (see :func:`replay_aggregator`)."""
+    return replay_aggregator(records).aggregate()
+
+
+# ---------------------------------------------------------------------------
+# The ops section (injected into the dashboard above the rollups)
+# ---------------------------------------------------------------------------
+
+def _count(records: List[Dict[str, Any]], kind: str) -> int:
+    return sum(1 for r in records if r.get("kind") == kind)
+
+
+def _ops_section(records: List[Dict[str, Any]]) -> str:
+    """Control-plane lifecycle rollup, computed purely from the events."""
+    sheds: Dict[str, int] = {}
+    migrations: Dict[str, int] = {}
+    wire_bytes = 0.0
+    waits: List[float] = []
+    live_series: List[Tuple[float, float]] = []
+    window_series: List[Tuple[float, float]] = []
+    for r in records:
+        kind = r.get("kind")
+        if kind == "session.shed":
+            sheds[r["reason"]] = sheds.get(r["reason"], 0) + 1
+        elif kind == "session.migrate":
+            bucket = "drain" if str(r["reason"]).startswith("drain:") else r["reason"]
+            migrations[bucket] = migrations.get(bucket, 0) + 1
+            wire_bytes += r["bytes"]
+        elif kind == "session.confirm":
+            waits.append(r["wait_ms"])
+        elif kind == "control.tick" and len(live_series) < CONCURRENCY_TIMELINE_CAP:
+            live_series.append((r["t_ms"], float(r["live"])))
+            window_series.append((r["t_ms"], float(r["window"])))
+    rows = [
+        ("offered", _count(records, "session.offer")),
+        ("admitted", _count(records, "session.admit")),
+        ("confirmed", len(waits)),
+        ("completed", _count(records, "session.complete")),
+        ("lost", _count(records, "session.lost")),
+        ("shed", " + ".join(f"{v} {k}" for k, v in sorted(sheds.items())) or 0),
+        ("migrations",
+         " + ".join(f"{v} {k}" for k, v in sorted(migrations.items())) or 0),
+        ("migration wire bytes", f"{int(wire_bytes):,}"),
+        ("mean admission wait",
+         f"{sum(waits) / len(waits):.1f} ms" if waits else "–"),
+        ("workers declared dead", _count(records, "worker.dead")),
+        ("drains", _count(records, "worker.drain")),
+        ("restarts", _count(records, "worker.restart")),
+        ("retired", _count(records, "worker.retire")),
+    ]
+    cells = "".join(
+        f"<tr><td>{label}</td><td>{value}</td></tr>" for label, value in rows
+    )
+    chart = _line_chart(
+        [("live sessions", live_series), ("admission window", window_series)],
+        height=180, y_fmt="{:.0f}",
+    )
+    return (
+        "<h2>Control-plane lifecycle (flight recorder)</h2>"
+        '<div class="card"><table><thead><tr><th>event</th><th>count</th>'
+        f'</tr></thead><tbody>{cells}</tbody></table></div>'
+        "<h2>Live sessions and admission window over simulated time</h2>"
+        f'<div class="card">{chart}</div>'
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_flight_dashboard(
+    records: List[Dict[str, Any]],
+    refresh_s: Optional[float] = None,
+) -> str:
+    """One dashboard HTML page from a (possibly still-growing) event log.
+
+    Pure function of the records and ``refresh_s``: rendering the final
+    live state and replaying the complete log give identical bytes.
+    """
+    seed: Any = "?"
+    for record in records:
+        if record.get("kind") == "run.start":
+            seed = record.get("seed", "?")
+            break
+    finished = any(r.get("kind") == "run.end" for r in records)
+    state = "final" if finished else "live"
+    title = f"vSoC fleet flight recorder — seed {seed} ({state})"
+    return render_dashboard(
+        replay_aggregate(records),
+        title=title,
+        refresh_s=refresh_s,
+        extra_html=_ops_section(records),
+    )

@@ -23,6 +23,7 @@ un-observed runs pay a single predicate per instrumentation site.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -90,17 +91,37 @@ class Tracer:
     ``sim`` may be ``None`` only for a disabled tracer. Finished *and*
     still-open spans live in :attr:`spans` (exporters clamp open spans to
     the export time); :attr:`instants` holds zero-duration point events.
+
+    ``max_spans`` bounds retention (mirroring ``TraceLog``'s ring mode):
+    spans and instants each keep only the newest ``max_spans`` entries,
+    evicting the oldest, and :attr:`dropped_spans` counts every eviction —
+    so a multi-hour fleet run cannot grow tracer memory without bound.
+    The default (``None``) retains everything, unchanged from before.
     """
 
-    def __init__(self, sim=None, enabled: bool = True):
+    def __init__(self, sim=None, enabled: bool = True,
+                 max_spans: Optional[int] = None):
         if enabled and sim is None:
             raise ValueError("an enabled Tracer needs a simulator for its clock")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self._sim = sim
         self.enabled = enabled
-        self.spans: List[Span] = []
-        self.instants: List[Span] = []
+        self.max_spans = max_spans
+        if max_spans is None:
+            self.spans: List[Span] = []
+            self.instants: List[Span] = []
+        else:
+            self.spans = deque(maxlen=max_spans)  # type: ignore[assignment]
+            self.instants = deque(maxlen=max_spans)  # type: ignore[assignment]
+        self.dropped_spans = 0
         self._next_span = 1
         self._next_flow = 1
+
+    def _append(self, store, span: Span) -> None:
+        if self.max_spans is not None and len(store) == self.max_spans:
+            self.dropped_spans += 1  # deque evicts the oldest on append
+        store.append(span)
 
     # -- flows -------------------------------------------------------------
     def new_flow(self) -> int:
@@ -134,7 +155,7 @@ class Tracer:
             flow=flow,
             args=dict(args) if args else None,
         )
-        self.spans.append(span)
+        self._append(self.spans, span)
         return span
 
     def end(self, span: Span, **args: Any) -> None:
@@ -179,7 +200,7 @@ class Tracer:
             flow=flow, args=dict(args) if args else None,
         )
         span.end = span.start
-        self.instants.append(span)
+        self._append(self.instants, span)
 
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:

@@ -370,6 +370,61 @@ def test_streamed_and_added_partials_compose():
     assert streamed.aggregate_json() == streamed.aggregate_json()
 
 
+def test_stream_interleaves_partial_and_final_snapshots_of_one_run():
+    # A session can contribute twice: a partial mid-stream reading when
+    # its worker dies, then (if re-run elsewhere) a final — interleaved
+    # with other sessions' snapshots. Flags must track each contribution.
+    agg = FleetAggregator()
+    agg.stream(_session_snap("w0", "s0", 30, partial=True))
+    agg.stream(_session_snap("w1", "s1", 50))
+    agg.stream(_session_snap("w1", "s0", 80))
+    out = agg.aggregate()
+    assert out["runs"] == 3
+    assert out["partial_runs"] == 1
+    assert out["groups"]["w0/ar"]["partial_runs"] == 1
+    assert out["groups"]["w1/ar"]["partial_runs"] == 0
+    # Both of s0's contributions count into their own group's totals.
+    frames_w0 = sum(c["value"] for c in out["groups"]["w0/ar"]["counters"]
+                    if c["name"] == "session.frames")
+    frames_w1 = sum(c["value"] for c in out["groups"]["w1/ar"]["counters"]
+                    if c["name"] == "session.frames")
+    assert frames_w0 == pytest.approx(30.0)
+    assert frames_w1 == pytest.approx(130.0)
+
+
+def test_stream_interleaving_is_order_independent_below_meta_cap():
+    import itertools
+
+    snaps = [
+        _session_snap("w0", "s0", 30, partial=True),
+        _session_snap("w1", "s0", 80),
+        _session_snap("w0", "s1", 10),
+        _session_snap("w1", "s2", 7, partial=True),
+    ]
+    outputs = set()
+    for perm in itertools.permutations(snaps):
+        agg = FleetAggregator()
+        for snap in perm:
+            agg.stream(snap)
+        outputs.add(agg.aggregate_json())
+    assert len(outputs) == 1
+
+
+def test_stream_matches_add_for_interleaved_partial_and_final():
+    snaps = [
+        _session_snap("w0", "s0", 30, partial=True),
+        _session_snap("w1", "s1", 50),
+        _session_snap("w1", "s0", 80),
+        _session_snap("w0", "s2", 12, partial=True),
+    ]
+    streamed = FleetAggregator()
+    for snap in snaps:
+        streamed.stream(snap)
+    batch = FleetAggregator()
+    batch.add_all(snaps)
+    assert streamed.aggregate_json() == batch.aggregate_json()
+
+
 def test_streaming_caps_retained_metas():
     from repro.obs.fleet import STREAM_META_CAP
 
