@@ -342,6 +342,11 @@ class EngineReport:
     jobs: int
     wall_s: float
     effective_jobs: int = 1
+    #: How misses actually executed: ``"inline"`` (no pool was spun up —
+    #: one effective worker, or every spec was a cache hit) or ``"pool"``.
+    #: Bench payloads record it so a parallel_speedup measured against an
+    #: inline run is never mistaken for pool overhead (or vice versa).
+    parallel_mode: str = "inline"
 
     @property
     def hit_rate(self) -> float:
@@ -438,11 +443,13 @@ def run_many(
         # Escape hatch (tests, experiments): honor the requested worker
         # count even past the host's CPU count.
         effective = max(1, requested)
+    parallel_mode = "inline"
     if misses:
         worker_count = max(1, min(effective, len(misses)))
         if worker_count == 1:
             produced = [execute_spec(spec) for _index, spec, _key in misses]
         else:
+            parallel_mode = "pool"
             with ProcessPoolExecutor(
                 max_workers=worker_count, mp_context=_pool_context()
             ) as pool:
@@ -460,6 +467,7 @@ def run_many(
         jobs=requested,
         wall_s=time.perf_counter() - t0,
         effective_jobs=effective,
+        parallel_mode=parallel_mode,
     )
 
 

@@ -36,10 +36,10 @@ drain deadlines with the same watchdog class the copy planner uses.
 from __future__ import annotations
 
 import asyncio
-import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import FleetError
+from repro.sim.eventq import make_event_queue
 
 #: Upper bound on settle iterations between two timer firings. A chain of
 #: synchronous wake-ups this long means a task is blocked on a non-clock
@@ -65,10 +65,13 @@ class ClockHandle:
 class VirtualClock:
     """Virtual-time timer wheel driving an asyncio loop deterministically."""
 
-    def __init__(self) -> None:
+    def __init__(self, queue: Any = "wheel") -> None:
         self.now = 0.0
-        self._heap: List[Tuple[float, int, ClockHandle]] = []
-        self._seq = 0
+        # The shared EventQueue abstraction from the DES kernel. Fleet runs
+        # are the workload the timing wheel exists for (thousands of
+        # concurrent session timers), so the wheel is the default; any
+        # kernel-compatible spec or instance is accepted.
+        self._queue = make_event_queue(queue)
         self._tasks: List["asyncio.Task[Any]"] = []
         self._runnable = 0
         self._parked: set = set()
@@ -81,8 +84,7 @@ class VirtualClock:
         if delay < 0:
             raise FleetError(f"cannot schedule into the past (delay={delay})")
         handle = ClockHandle(self.now + delay, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (handle.time, self._seq, handle))
+        self._queue.push(handle.time, handle)
         return handle
 
     def spawn(self, coro: Any, name: str = "task") -> "asyncio.Task[Any]":
@@ -161,10 +163,11 @@ class VirtualClock:
     async def run_until(self, t_end: float) -> None:
         """Advance virtual time to ``t_end``, firing due timers in order."""
         await self._settle()
-        while self._heap and self._heap[0][0] <= t_end:
-            time_ms, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
+        while True:
+            entry = self._queue.pop_due(t_end)
+            if entry is None:
+                break
+            time_ms, _seq, handle = entry
             if time_ms > self.now:
                 self.now = time_ms
             self.timers_fired += 1
@@ -175,7 +178,7 @@ class VirtualClock:
         await self._settle()
 
     def pending_timers(self) -> int:
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        return sum(1 for _ in self._queue.iter_pending())
 
     def raise_task_failures(self) -> None:
         """Re-raise the first background-task failure, if any."""

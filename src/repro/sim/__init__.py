@@ -14,6 +14,12 @@ Public surface:
 * :mod:`~repro.sim.tracing` — structured trace records.
 """
 
+from repro.sim.eventq import (
+    HeapEventQueue,
+    TimingWheelEventQueue,
+    make_event_queue,
+)
+from repro.sim.fastforward import FastForwardController
 from repro.sim.kernel import Process, ScheduledCall, Simulator
 from repro.sim.primitives import (
     AllOf,
@@ -31,6 +37,10 @@ __all__ = [
     "Simulator",
     "Process",
     "ScheduledCall",
+    "HeapEventQueue",
+    "TimingWheelEventQueue",
+    "make_event_queue",
+    "FastForwardController",
     "Waitable",
     "Timeout",
     "SimEvent",

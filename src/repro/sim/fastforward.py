@@ -1,0 +1,537 @@
+"""Steady-state cycle fast-forward: detect a periodic fixed point, skip it.
+
+The paper's guest pipeline (§3.3: write → slack → read per frame) settles
+into an exactly periodic pattern once the EWMA slack predictors converge:
+every vsync interval schedules the same events at the same relative
+offsets, produces the same trace records modulo a constant time shift, and
+bumps the same counters by the same deltas. Simulating such a cycle
+event-by-event for minutes of virtual time is pure waste — this module
+detects the fixed point, *proves* it is exactly repeating (bitwise, not
+approximately), then advances the clock N cycles analytically: pending
+events are shifted, counters and metric lists are extended with the rows
+the skipped cycles would have produced, and the run resumes event-by-event
+for the tail. A fast-forwarded run is bit-identical to the event-by-event
+run — the tests assert frame-for-frame equality of FPS, trace records
+(including flow ids) and telemetry.
+
+Soundness
+---------
+Fast-forward replays state *analytically*: value' = value + n·stride. For
+floats this is only bit-identical to n sequential additions when the
+arithmetic is exact, so every float consulted by the detector must sit on
+a dyadic grid (multiples of 2^-20 ms, magnitude < 2^31): such values and
+their strides are exactly representable and IEEE addition on them is
+exact. The controller therefore *refuses to engage* — rather than
+engaging approximately — whenever:
+
+* any pending event's relative offset or any journaled float is off-grid
+  (real vsync periods like 1000/60 ms fail this immediately; the
+  controller goes dormant after a bounded number of anchors, so ordinary
+  runs pay almost nothing);
+* the cycle signature (pending-event pattern + fingerprints + journal
+  strides) has not repeated bitwise for ``confirm`` consecutive cycles;
+* the simulator carries a fast-forward veto (fault injection, live
+  observability, explicit ``--no-fast-forward``).
+
+The detector is cooperative: components register *channels* (journaled
+side effects to capture and replay) and *fingerprints* (state that must
+be cycle-invariant) via ``ff_register``. Anything not registered must be
+a pure function of the pending-event set — the contract every guest
+component in this repo follows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+#: Dyadic grid unit (ms). All engaged timestamps/strides are multiples.
+GRID = 2.0 ** -20
+GRID_INV = 2.0 ** 20
+#: Magnitude bound under which grid multiples (and their n-fold sums up to
+#: any horizon we simulate) are exactly representable in a float.
+GRID_SPAN = 2.0 ** 31
+
+# -- module-level default (mirrors engine.set_default_jobs / --no-cache) ----
+
+_enabled_default = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Set the process-wide fast-forward default (CLI plumbing)."""
+    global _enabled_default
+    _enabled_default = bool(flag)
+
+
+def enabled_default() -> bool:
+    return _enabled_default
+
+
+def on_grid(x: Any) -> bool:
+    """Whether a number is fast-forward-exact (int, or dyadic float)."""
+    if type(x) is int:
+        return -GRID_SPAN < x < GRID_SPAN
+    if type(x) is float:
+        if not -GRID_SPAN < x < GRID_SPAN:
+            return False
+        return (x * GRID_INV).is_integer()
+    return False
+
+
+# -- stride algebra ---------------------------------------------------------
+
+
+class _Same:
+    """Stride sentinel: the value is cycle-invariant (carried unchanged)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<same>"
+
+
+SAME = _Same()
+
+
+class Delta:
+    """Stride: the value advances by a fixed (grid-exact) amount per cycle."""
+
+    __slots__ = ("d",)
+
+    def __init__(self, d: Any):
+        self.d = d
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is Delta and self.d == other.d
+
+    def __hash__(self) -> int:
+        return hash(("Delta", self.d))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<+{self.d}>"
+
+
+def stride_of(a: Any, b: Any) -> Any:
+    """The per-cycle stride turning ``a`` into ``b``, or None if unsound.
+
+    Equal values of any type stride as :data:`SAME`; ints and grid-exact
+    floats stride as :class:`Delta`; tuples stride elementwise. Anything
+    else (unequal strings, off-grid floats, mismatched shapes) yields
+    None, which vetoes engagement.
+    """
+    if type(a) is not type(b):
+        return None
+    if type(a) is tuple:
+        if len(a) != len(b):
+            return None
+        out = []
+        for x, y in zip(a, b):
+            s = stride_of(x, y)
+            if s is None:
+                return None
+            out.append(s)
+        return tuple(out)
+    if a == b:
+        return SAME
+    if type(a) is int:
+        return Delta(b - a)
+    if type(a) is float:
+        if on_grid(a) and on_grid(b):
+            d = b - a  # exact: both are in-span grid multiples
+            return Delta(d)
+        return None
+    return None
+
+
+def advance(value: Any, stride: Any) -> Any:
+    """Apply one cycle's stride to a captured value (exact arithmetic)."""
+    if stride is SAME:
+        return value
+    if type(stride) is Delta:
+        return value + stride.d
+    return tuple(advance(v, s) for v, s in zip(value, stride))
+
+
+def advance_n(value: Any, stride: Any, n: int) -> Any:
+    """Apply ``n`` cycles of stride in one step.
+
+    Bit-identical to ``n`` sequential :func:`advance` calls: every stride
+    delta is an integer or an in-span dyadic float, so ``d*n`` and the sum
+    are computed exactly — closed form and iteration agree to the bit.
+    """
+    if stride is SAME:
+        return value
+    if type(stride) is Delta:
+        return value + stride.d * n
+    return tuple(advance_n(v, s, n) for v, s in zip(value, stride))
+
+
+# -- channels ---------------------------------------------------------------
+
+
+class Channel:
+    """A journaled side effect: captured per anchor, replayed per skipped
+    cycle. ``capture`` returns a tuple of rows (tuples of grid-exact
+    scalars / strings); ``replay`` applies one cycle's worth of rows."""
+
+    def capture(self) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def replay(self, rows: Tuple[Any, ...]) -> None:
+        raise NotImplementedError
+
+    def skip(self, rows: Tuple[Any, ...], stride: Any, n: int) -> None:
+        """Replay ``n`` stride-advanced cycles. The generic path iterates;
+        subclasses override with closed-form or batched equivalents that
+        produce bit-identical state."""
+        for k in range(1, n + 1):
+            self.replay(advance_n(rows, stride, k))
+
+    def close(self) -> None:
+        """Detach any hooks (called when the controller shuts down)."""
+
+
+class TraceChannel(Channel):
+    """Journals a :class:`~repro.sim.tracing.TraceLog` via its mirror hook."""
+
+    def __init__(self, trace: Any):
+        self._trace = trace
+        trace.ff_mirror = []
+
+    def capture(self) -> Tuple[Any, ...]:
+        mirror = self._trace.ff_mirror
+        rows = tuple(
+            (r.time, r.kind, tuple(r.fields.items())) for r in mirror
+        )
+        mirror.clear()
+        return rows
+
+    def replay(self, rows: Tuple[Any, ...]) -> None:
+        append = self._trace.ff_append
+        for time, kind, items in rows:
+            append(time, kind, dict(items))
+
+    def skip(self, rows: Tuple[Any, ...], stride: Any, n: int) -> None:
+        # The hot half of a jump: n cycles × len(rows) records. Flatten the
+        # stride walk per row once, then emit with closed-form advances
+        # (exact arithmetic — bit-identical to cycle-by-cycle replay).
+        append = self._trace.ff_append
+        plan = []
+        for (time, kind, items), (tstride, _kstride, istrides) in zip(rows, stride):
+            tdelta = 0.0 if tstride is SAME else tstride.d
+            fields = []
+            for (key, value), fstride in zip(items, istrides):
+                vstride = fstride[1]
+                if not (vstride is SAME or type(vstride) is Delta):
+                    # Exotic (nested) field value: take the generic path.
+                    Channel.skip(self, rows, stride, n)
+                    return
+                fields.append(
+                    (key, value, 0 if vstride is SAME else vstride.d)
+                )
+            plan.append((time, tdelta, kind, fields))
+        for k in range(1, n + 1):
+            for time, tdelta, kind, fields in plan:
+                append(
+                    time + tdelta * k if tdelta else time,
+                    kind,
+                    {key: value + delta * k if delta else value
+                     for key, value, delta in fields},
+                )
+
+    def close(self) -> None:
+        self._trace.ff_mirror = None
+
+
+class ListChannel(Channel):
+    """Journals an append-only list (FPS present times, latency samples)."""
+
+    def __init__(self, target: List[Any]):
+        self._target = target
+        self._idx = len(target)
+
+    def capture(self) -> Tuple[Any, ...]:
+        target = self._target
+        rows = tuple((v,) for v in target[self._idx:])
+        self._idx = len(target)
+        return rows
+
+    def replay(self, rows: Tuple[Any, ...]) -> None:
+        self._target.extend(v for (v,) in rows)
+        self._idx = len(self._target)
+
+    def skip(self, rows: Tuple[Any, ...], stride: Any, n: int) -> None:
+        out: List[Any] = []
+        plan = [(v, s[0]) for (v,), s in zip(rows, stride)]
+        if all(vs is SAME or type(vs) is Delta for _, vs in plan):
+            flat = [(v, 0 if vs is SAME else vs.d) for v, vs in plan]
+            for k in range(1, n + 1):
+                out.extend(v + d * k if d else v for v, d in flat)
+        else:  # pragma: no cover - nested values in a metrics list
+            for k in range(1, n + 1):
+                out.extend(advance_n(v, vs, k) for v, vs in plan)
+        self._target.extend(out)
+        self._idx = len(self._target)
+
+
+class CounterChannel(Channel):
+    """Journals one scalar attribute by absolute value (counters, EWMA
+    levels). The absolute value strides per cycle; replay writes it back.
+
+    A cycle spanning m anchors contributes m rows per group — one capture
+    per anchor — so the *last* row is the state at the cycle boundary.
+    """
+
+    def __init__(self, obj: Any, attr: str):
+        self._obj = obj
+        self._attr = attr
+
+    def capture(self) -> Tuple[Any, ...]:
+        return ((getattr(self._obj, self._attr),),)
+
+    def replay(self, rows: Tuple[Any, ...]) -> None:
+        setattr(self._obj, self._attr, rows[-1][0])
+
+    def skip(self, rows: Tuple[Any, ...], stride: Any, n: int) -> None:
+        # Absolute value: only the final cycle's state matters.
+        setattr(self._obj, self._attr, advance_n(rows[-1][0], stride[-1][0], n))
+
+
+class DictCountChannel(Channel):
+    """Journals a counter dict (e.g. per-reason frame-drop tallies)."""
+
+    def __init__(self, target: Dict[Any, Any]):
+        self._target = target
+
+    def capture(self) -> Tuple[Any, ...]:
+        return (tuple(self._target.items()),)
+
+    def replay(self, rows: Tuple[Any, ...]) -> None:
+        # Keys cannot appear or vanish inside a proven-periodic cycle
+        # (the stride structure would mismatch), so update preserves the
+        # target's insertion order — dict iteration stays bit-identical.
+        # Like CounterChannel: m-anchor cycles carry m absolute snapshots;
+        # the last one is the cycle-boundary state.
+        self._target.update(rows[-1])
+
+    def skip(self, rows: Tuple[Any, ...], stride: Any, n: int) -> None:
+        self._target.update(advance_n(rows[-1], stride[-1], n))
+
+
+# -- the controller ---------------------------------------------------------
+
+
+class FastForwardController:
+    """Per-run fixed-point detector and analytic skipper.
+
+    Rides the simulator as a periodic *anchor* callback (period = the
+    app's frame interval; multi-frame cycles up to ``max_multiple`` frames
+    are detected automatically, e.g. double-buffer flip-flop states).
+    At each anchor it snapshots:
+
+    * the **signature** — relative offsets and callback identities of every
+      pending event, plus every registered fingerprint;
+    * the **journal** — each channel's rows since the previous anchor.
+
+    When the signature repeats bitwise and the journal advances by an
+    identical (grid-exact) stride for ``confirm`` consecutive cycles, the
+    cycle is proven and the controller jumps: it shifts the pending set by
+    ``n`` cycles, replays ``n`` stride-advanced journals, and retires. At
+    most one jump per run — re-engagement after a jump would need a fresh
+    settling proof and the tail is short by construction.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        period: float,
+        horizon: float,
+        *,
+        confirm: int = 3,
+        margin_cycles: int = 2,
+        min_skip_cycles: int = 8,
+        max_multiple: int = 8,
+        max_anchors: int = 512,
+    ):
+        if confirm < 2:
+            raise ValueError("confirm must be >= 2 (one stride match proves nothing)")
+        self.sim = sim
+        self.period = float(period)
+        self.horizon = float(horizon)
+        self.confirm = confirm
+        self.margin_cycles = margin_cycles
+        self.min_skip_cycles = min_skip_cycles
+        self.max_multiple = max_multiple
+        self.max_anchors = max_anchors
+        self._channels: List[Channel] = []
+        self._watchers: List[Callable[[], Any]] = []
+        self._history: Deque[Tuple[Optional[tuple], tuple]] = deque(
+            maxlen=(confirm + 2) * max_multiple
+        )
+        self._armed = False
+        self.anchors_seen = 0
+        self.engaged = 0
+        self.cycle_multiple: Optional[int] = None
+        self.skipped_cycles = 0
+        self.skipped_ms = 0.0
+        self.disabled_reason: Optional[str] = None
+
+    # -- registration ------------------------------------------------------
+    def add_channel(self, channel: Channel) -> Channel:
+        self._channels.append(channel)
+        return channel
+
+    def watch(self, fn: Callable[[], Any]) -> None:
+        """Register a fingerprint: a callable whose value must be identical
+        at matching anchors for the cycle to count as repeating."""
+        self._watchers.append(fn)
+
+    def track_counter(self, obj: Any, attr: str) -> None:
+        self.add_channel(CounterChannel(obj, attr))
+
+    def track_list(self, target: List[Any]) -> None:
+        self.add_channel(ListChannel(target))
+
+    def track_counts(self, target: Dict[Any, Any]) -> None:
+        self.add_channel(DictCountChannel(target))
+
+    # -- lifecycle ---------------------------------------------------------
+    def install(self) -> "FastForwardController":
+        """Arm the anchor. Refuses (with a recorded reason) when globally
+        disabled, vetoed, or configured off-grid."""
+        if not _enabled_default:
+            self._disable("globally-disabled")
+            return self
+        vetoes = self.sim.fast_forward_vetoes
+        if vetoes:
+            self._disable(f"vetoed: {vetoes[0]}")
+            return self
+        if self.period <= 0 or not on_grid(self.period):
+            self._disable(f"off-grid anchor period {self.period!r}")
+            return self
+        if not on_grid(self.horizon):
+            self._disable(f"off-grid horizon {self.horizon!r}")
+            return self
+        self._armed = True
+        self.sim.schedule(self.period, self._anchor)
+        return self
+
+    def _disable(self, reason: str) -> None:
+        self.disabled_reason = reason
+        self._armed = False
+        for channel in self._channels:
+            channel.close()
+
+    # -- the anchor --------------------------------------------------------
+    def _anchor(self) -> None:
+        if not self._armed:  # pragma: no cover - defensive (anchor not re-armed)
+            return
+        vetoes = self.sim.fast_forward_vetoes
+        if vetoes:
+            self._disable(f"vetoed: {vetoes[0]}")
+            return
+        self.anchors_seen += 1
+        sig = self._signature() if on_grid(self.sim._now) else None
+        rows = tuple(channel.capture() for channel in self._channels)
+        self._history.append((sig, rows))
+        if sig is not None:
+            found = self._detect()
+            if found is not None:
+                m, strides, last_group = found
+                n = self._cycles_available(m)
+                if n >= self.min_skip_cycles:
+                    self._jump(m, n, strides, last_group)
+                    self._disable("engaged")
+                    return
+        if self.anchors_seen >= self.max_anchors:
+            self._disable(f"no fixed point within {self.max_anchors} anchors")
+            return
+        self.sim.schedule(self.period, self._anchor)
+
+    def _signature(self) -> Optional[tuple]:
+        """Bitwise cycle snapshot: pending-event pattern + fingerprints.
+
+        None (ineligible) when any pending offset is off-grid. Callback
+        identity is (qualname, bound-object id): stable within one run,
+        which is the only scope signatures are ever compared in.
+        """
+        now = self.sim._now
+        events = []
+        for time, _seq, call in self.sim.pending_entries():
+            rel = time - now
+            if not on_grid(rel):
+                return None
+            fn = call.fn
+            target = getattr(fn, "__self__", None)
+            events.append(
+                (rel, getattr(fn, "__qualname__", repr(fn)),
+                 id(fn) if target is None else id(target))
+            )
+        return (tuple(events), tuple(fn() for fn in self._watchers))
+
+    def _detect(self) -> Optional[Tuple[int, tuple, tuple]]:
+        """Find the smallest cycle multiple whose signature repeats and
+        whose journal strides are constant over ``confirm`` comparisons."""
+        hist = self._history
+        size = len(hist)
+        groups_needed = self.confirm + 1
+        for m in range(1, self.max_multiple + 1):
+            span = groups_needed * m
+            if size < span:
+                return None
+            # Signatures must be m-periodic (and eligible) across the span.
+            window = [hist[size - span + i] for i in range(span)]
+            if any(snap[0] is None for snap in window):
+                continue
+            if any(window[i][0] != window[i + m][0] for i in range(span - m)):
+                continue
+            # Concatenate each group's journal rows per channel.
+            nchannels = len(self._channels)
+            groups = []
+            for j in range(groups_needed):
+                anchors = window[j * m:(j + 1) * m]
+                groups.append(tuple(
+                    tuple(row for snap in anchors for row in snap[1][c])
+                    for c in range(nchannels)
+                ))
+            strides = stride_of(groups[0], groups[1])
+            if strides is None:
+                continue
+            if all(
+                stride_of(groups[j - 1], groups[j]) == strides
+                for j in range(2, groups_needed)
+            ):
+                return m, strides, groups[-1]
+        return None
+
+    def _cycles_available(self, m: int) -> int:
+        """How many whole cycles fit between now and the horizon, minus the
+        safety margin — computed in exact grid units."""
+        remaining = self.horizon - self.sim._now
+        if remaining <= 0:
+            return 0
+        grid_rem = round(remaining * GRID_INV)
+        grid_cycle = round(self.period * GRID_INV) * m
+        return grid_rem // grid_cycle - self.margin_cycles
+
+    def _jump(self, m: int, n: int, strides: tuple, last_group: tuple) -> None:
+        cycle_ms = self.period * m
+        dt = cycle_ms * n  # exact: grid multiple times an int
+        self.sim.fast_forward(dt)
+        for c, channel in enumerate(self._channels):
+            channel.skip(last_group[c], strides[c], n)
+        self.engaged += 1
+        self.cycle_multiple = m
+        self.skipped_cycles += n
+        self.skipped_ms += dt
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "engaged": self.engaged,
+            "cycle_multiple": self.cycle_multiple,
+            "anchors_seen": self.anchors_seen,
+            "skipped_cycles": self.skipped_cycles,
+            "skipped_ms": self.skipped_ms,
+            "disabled_reason": self.disabled_reason,
+        }

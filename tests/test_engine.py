@@ -245,3 +245,24 @@ def test_serial_run_reports_single_effective_job():
     report = run_many(specs, jobs=1, cache=False)
     assert report.jobs == 1
     assert report.effective_jobs == 1
+
+
+def test_parallel_mode_records_how_misses_actually_ran(monkeypatch, tmp_path):
+    # "parallel_speedup: 0.956" on a 1-CPU host confused a reader into
+    # hunting pool overhead that was never there: the run was inline both
+    # times. The report now says which path executed the misses.
+    specs = _grid_specs(duration_ms=1_000.0)[:2]
+    monkeypatch.delenv("REPRO_ENGINE_OVERSUBSCRIBE", raising=False)
+    inline = run_many(specs, jobs=1, cache=False)
+    assert inline.parallel_mode == "inline"
+
+    monkeypatch.setenv("REPRO_ENGINE_OVERSUBSCRIBE", "1")
+    pooled = run_many(specs, jobs=2, cache=RunCache(tmp_path))
+    assert pooled.parallel_mode == "pool"
+    assert pooled.results == inline.results
+
+    # A fully-warm rerun executes nothing — no pool spins up, and the
+    # report must not pretend one did.
+    warm = run_many(specs, jobs=2, cache=RunCache(tmp_path))
+    assert warm.executed == 0
+    assert warm.parallel_mode == "inline"

@@ -1,0 +1,311 @@
+"""Fast-forward soundness tests (repro.sim.fastforward).
+
+The headline property: a fast-forwarded run is *bit-identical* to the
+event-by-event run — same trace records (times, kinds, fields), same
+counters, same final clock. The steady bench workload provides a cycle
+the detector provably engages on; the safety tests prove every refusal
+path (global flag, veto, fault injection, off-grid periods, telemetry).
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.bench import (
+    STEADY_PERIOD_MS,
+    _SteadyWorker,
+    _trace_digest,
+    kernel_steady,
+)
+from repro.sim import Simulator, Timeout
+from repro.sim.fastforward import (
+    GRID,
+    SAME,
+    Delta,
+    FastForwardController,
+    TraceChannel,
+    advance,
+    advance_n,
+    enabled_default,
+    on_grid,
+    set_enabled,
+    stride_of,
+)
+from repro.sim.tracing import TraceLog
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_default():
+    # Pin a known state (order-independence) and restore on the way out.
+    prev = enabled_default()
+    set_enabled(True)
+    yield
+    set_enabled(prev)
+
+
+def _ns():
+    """The live kernel namespace, shaped like bench's SimpleNamespace."""
+    from types import SimpleNamespace
+
+    return SimpleNamespace(Simulator=Simulator, Timeout=Timeout, TraceLog=TraceLog)
+
+
+# ---------------------------------------------------------------------------
+# Grid and stride algebra
+# ---------------------------------------------------------------------------
+
+def test_on_grid_accepts_dyadics_and_rejects_the_rest():
+    assert on_grid(16.0)
+    assert on_grid(0.25)
+    assert on_grid(GRID)
+    assert on_grid(-3.75)
+    assert on_grid(7)
+    assert not on_grid(1000.0 / 60.0)  # real vsync period
+    assert not on_grid(0.1)
+    assert not on_grid(2.0 ** 40)  # out of span
+    assert not on_grid("16.0")
+
+
+def test_stride_of_basic_shapes():
+    assert stride_of(5, 5) is SAME
+    assert stride_of(5, 8) == Delta(3)
+    assert stride_of(1.5, 2.25) == Delta(0.75)
+    assert stride_of((1, "a"), (3, "a")) == (Delta(2), SAME)
+    assert stride_of(0.1, 0.2) is None  # off-grid floats
+    assert stride_of("a", "b") is None  # unequal strings never stride
+    assert stride_of((1, 2), (1, 2, 3)) is None  # shape mismatch
+    assert stride_of(1, 1.0) is None  # type mismatch
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_advance_n_is_bit_identical_to_iterated_advance(seed):
+    rng = random.Random(seed)
+    for _ in range(50):
+        value = rng.randrange(-(2 ** 20), 2 ** 20) * GRID
+        delta = rng.randrange(-(2 ** 12), 2 ** 12) * GRID
+        stride = Delta(delta)
+        n = rng.randrange(1, 5000)
+        iterated = value
+        for _ in range(n):
+            iterated = advance(iterated, stride)
+        assert advance_n(value, stride, n) == iterated
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity on the steady workload (the acceptance property)
+# ---------------------------------------------------------------------------
+
+def _steady_pair(**kwargs):
+    plain = kernel_steady(_ns(), fast_forward=False, **kwargs)
+    ffwd = kernel_steady(_ns(), fast_forward=True, **kwargs)
+    return plain, ffwd
+
+
+def test_fast_forwarded_steady_run_is_bit_identical():
+    plain, ffwd = _steady_pair(workers=4, frames=240)
+    assert len(plain._records) == len(ffwd._records) == 4 * 240
+    assert _trace_digest(plain) == _trace_digest(ffwd)
+
+
+def test_sparse_record_cadence_is_bit_identical():
+    # frame % record_every *branches* recording, so it is fingerprinted;
+    # without that watch the detector would lock onto a quiet window and
+    # under-replay (the regression this test pins).
+    plain, ffwd = _steady_pair(workers=4, frames=320, record_every=8)
+    assert len(plain._records) == len(ffwd._records) == 4 * 320 // 8
+    assert _trace_digest(plain) == _trace_digest(ffwd)
+
+
+def test_substeps_scale_events_not_records():
+    plain, ffwd = _steady_pair(workers=2, frames=240, record_every=4,
+                               substeps=2)
+    assert len(plain._records) == len(ffwd._records)
+    assert _trace_digest(plain) == _trace_digest(ffwd)
+
+
+def test_multi_anchor_cycle_replays_absolute_counters_from_last_row():
+    # record_every=4 forces a 4-anchor cycle. CounterChannel journals the
+    # *absolute* frame value once per anchor — replay must take the last
+    # row of the group, not the first, or every worker's counter lands
+    # m-1 cycles behind after the jump (a bug this test pins).
+    frames, workers, every = 320, 3, 4
+    sim = Simulator()
+    trace = TraceLog()
+    pool = [_SteadyWorker(sim, trace, Timeout, i, every) for i in range(workers)]
+    for worker in pool:
+        sim.spawn(worker.run(), name=f"steady-{worker.index}")
+    horizon = frames * STEADY_PERIOD_MS + 4.0
+    ctl = FastForwardController(sim, period=STEADY_PERIOD_MS, horizon=horizon)
+    ctl.add_channel(TraceChannel(trace))
+    for worker in pool:
+        ctl.track_counter(worker, "frame")
+        ctl.watch(lambda w=worker: w.frame % w.record_every)
+    ctl.install()
+    sim.run(until=horizon)
+
+    assert ctl.engaged == 1
+    assert ctl.cycle_multiple == every
+    assert ctl.skipped_cycles > 0
+    assert ctl.skipped_ms > 0
+    assert ctl.disabled_reason == "engaged"
+
+    reference = kernel_steady(_ns(), workers=workers, frames=frames,
+                              record_every=every, fast_forward=False)
+    assert _trace_digest(trace) == _trace_digest(reference)
+    assert all(worker.frame == frames for worker in pool)
+
+    stats = ctl.stats()
+    assert stats["engaged"] == 1
+    assert stats["cycle_multiple"] == every
+    assert stats["skipped_ms"] == ctl.skipped_ms
+
+
+def test_fast_forward_advances_the_clock_and_skips_dispatch():
+    # The whole point: far fewer dispatched events, same final state.
+    counting = Simulator()
+    trace = TraceLog()
+    worker = _SteadyWorker(counting, trace, Timeout, 0, 1)
+    counting.spawn(worker.run(), name="steady-0")
+    horizon = 2000 * STEADY_PERIOD_MS + 4.0
+    ctl = FastForwardController(counting, period=STEADY_PERIOD_MS,
+                                horizon=horizon)
+    ctl.add_channel(TraceChannel(trace))
+    ctl.track_counter(worker, "frame")
+    ctl.watch(lambda: worker.frame % worker.record_every)
+    ctl.install()
+    counting.run(until=horizon)
+    assert ctl.engaged == 1
+    assert worker.frame == 2000
+    assert len(trace._records) == 2000
+    # Dispatched events ~ (frames - skipped) * stages; skipping must have
+    # removed the overwhelming majority of the run.
+    assert ctl.skipped_cycles > 1900
+
+
+# ---------------------------------------------------------------------------
+# Refusal paths: every way the controller must NOT engage
+# ---------------------------------------------------------------------------
+
+def _controller(sim, period=STEADY_PERIOD_MS, horizon=1000.0, **kwargs):
+    return FastForwardController(sim, period=period, horizon=horizon, **kwargs)
+
+
+def test_global_disable_refuses_install():
+    set_enabled(False)
+    ctl = _controller(Simulator()).install()
+    assert ctl.disabled_reason == "globally-disabled"
+    assert ctl.engaged == 0
+
+
+def test_veto_refuses_install():
+    sim = Simulator()
+    sim.veto_fast_forward("fault-injection")
+    ctl = _controller(sim).install()
+    assert ctl.disabled_reason == "vetoed: fault-injection"
+
+
+def test_veto_placed_mid_run_disarms_at_next_anchor():
+    sim = Simulator()
+    trace = TraceLog()
+    worker = _SteadyWorker(sim, trace, Timeout, 0, 1)
+    sim.spawn(worker.run(), name="steady-0")
+    ctl = _controller(sim, horizon=400 * STEADY_PERIOD_MS)
+    ctl.add_channel(TraceChannel(trace))
+    ctl.track_counter(worker, "frame")
+    ctl.install()
+    sim.schedule(3 * STEADY_PERIOD_MS, sim.veto_fast_forward, "late-veto")
+    sim.run(until=400 * STEADY_PERIOD_MS)
+    assert ctl.disabled_reason == "vetoed: late-veto"
+    assert ctl.engaged == 0
+    # The run still completed event-by-event, bit-identical by definition.
+    assert worker.frame == 400
+
+
+def test_off_grid_period_refuses_install():
+    ctl = _controller(Simulator(), period=1000.0 / 60.0).install()
+    assert ctl.disabled_reason is not None
+    assert "off-grid anchor period" in ctl.disabled_reason
+
+
+def test_off_grid_horizon_refuses_install():
+    ctl = _controller(Simulator(), horizon=3333.3).install()
+    assert ctl.disabled_reason is not None
+    assert "off-grid horizon" in ctl.disabled_reason
+
+
+def test_aperiodic_run_goes_dormant_after_max_anchors():
+    sim = Simulator()
+
+    def jittery():
+        rng = random.Random(0)
+        while True:
+            # Off-grid offsets: signatures are ineligible every anchor.
+            yield Timeout(rng.uniform(3.0, 5.0))
+
+    sim.spawn(jittery(), name="jitter")
+    ctl = _controller(sim, horizon=200 * STEADY_PERIOD_MS, max_anchors=16)
+    ctl.install()
+    sim.run(until=200 * STEADY_PERIOD_MS)
+    assert ctl.engaged == 0
+    assert ctl.disabled_reason == "no fixed point within 16 anchors"
+    assert ctl.anchors_seen == 16
+
+
+def test_fault_injector_vetoes_fast_forward():
+    # Satellite 6: a FaultPlan run must never enter fast-forward.
+    from repro.emulators import EMULATOR_FACTORIES
+    from repro.experiments.chaos import default_chaos_plan
+    from repro.faults import FaultInjector
+    from repro.hw.machine import HIGH_END_DESKTOP, build_machine
+
+    sim = Simulator()
+    machine = build_machine(sim, HIGH_END_DESKTOP)
+    trace = TraceLog()
+    emulator = EMULATOR_FACTORIES["vSoC"](
+        sim, machine, trace=trace, rng=random.Random(0)
+    )
+    FaultInjector(sim, default_chaos_plan(), seed=0, trace=trace).install(emulator)
+    assert "fault-injection" in sim.fast_forward_vetoes
+    ctl = _controller(sim).install()
+    assert ctl.disabled_reason == "vetoed: fault-injection"
+    assert ctl.engaged == 0
+
+
+# ---------------------------------------------------------------------------
+# run_app plumbing
+# ---------------------------------------------------------------------------
+
+def test_run_app_surfaces_stats_and_stays_bit_identical():
+    from repro.apps.video import UhdVideoApp
+    from repro.experiments.runner import run_app
+
+    on = run_app(UhdVideoApp(), "vSoC", duration_ms=1_500.0,
+                 fast_forward=True)
+    off = run_app(UhdVideoApp(), "vSoC", duration_ms=1_500.0,
+                  fast_forward=False)
+    # Real vsync (1000/60 ms) is off the dyadic grid, so the controller
+    # refuses up front — and the run must be identical either way.
+    assert on.fast_forward is not None
+    assert on.fast_forward["engaged"] == 0
+    assert "off-grid" in on.fast_forward["disabled_reason"]
+    assert off.fast_forward is None
+    assert on.result == off.result
+
+
+def test_run_app_respects_process_default():
+    from repro.apps.video import UhdVideoApp
+    from repro.experiments.runner import run_app
+
+    set_enabled(False)
+    run = run_app(UhdVideoApp(), "vSoC", duration_ms=1_000.0)
+    assert run.fast_forward is None
+
+
+def test_telemetry_run_skips_the_controller():
+    from repro.apps.video import UhdVideoApp
+    from repro.experiments.runner import run_app
+
+    run = run_app(UhdVideoApp(), "vSoC", duration_ms=1_000.0,
+                  telemetry=True, fast_forward=True)
+    assert run.fast_forward is None
+    assert run.telemetry is not None
