@@ -9,8 +9,12 @@ Usage::
     python -m repro.experiments observe --app ar --export trace.json \
         --metrics metrics.json
     python -m repro.experiments dashboard --out report.html
-    python -m repro.experiments recover [--quick] [--report audit.json]
-    python -m repro.experiments chaos [--seed 0] [--fault-class device-crash]
+    python -m repro.experiments recover [--quick] [--report audit.json] \
+        [--strict-audit]
+    python -m repro.experiments chaos [--seed 0] [--fault-class device-crash] \
+        [--strict-audit]
+    python -m repro.experiments fuzz [--max-samples 50] [--seed 0] \
+        [--fuzz-dir fuzz-reproducers] [--replay repro.json]
     python -m repro.experiments fleetserve [--quick] [--seed 0] \
         [--out fleet.html] [--report fleet.json] [--live out/]
     python -m repro.experiments flightdeck --events out/events.jsonl \
@@ -328,11 +332,25 @@ def cmd_sweeps(quick: bool) -> None:
         print(f"    {gbps:5.1f} GB/s -> {fps:5.1f} FPS")
 
 
-def cmd_chaos(quick: bool, seed: int = 0, fault_class: str = None) -> int:
+def cmd_chaos(quick: bool, seed: int = 0, fault_class: str = None,
+              strict_audit: bool = False) -> int:
+    from repro.errors import InvariantViolation
     from repro.experiments.chaos import run_fault_classes
 
     duration = 6_000.0 if quick else 10_000.0
-    results = run_fault_classes(duration_ms=duration, seed=seed, only=fault_class)
+    quick_flag = " --quick" if quick else ""
+    strict_flag = " --strict-audit" if strict_audit else ""
+    try:
+        results = run_fault_classes(duration_ms=duration, seed=seed,
+                                    only=fault_class,
+                                    strict_audit=strict_audit)
+    except InvariantViolation as err:
+        class_flag = f" --fault-class {fault_class}" if fault_class else ""
+        print(f"FAIL: invariant {err.invariant!r} violated under strict "
+              f"audit: {err}")
+        print(f"REPRODUCE: python -m repro.experiments chaos "
+              f"--seed {seed}{class_flag}{quick_flag}{strict_flag}")
+        return 1
     print("Chaos harness — UHD video on vSoC per fault class:")
     rows = []
     for label, r in results.items():
@@ -369,13 +387,76 @@ def cmd_chaos(quick: bool, seed: int = 0, fault_class: str = None) -> int:
               else r.steady_fps * 2.0 >= baseline.steady_fps)
         if not ok:
             failing.append(label)
-    quick_flag = " --quick" if quick else ""
     for label in failing:
         print(f"FAIL {label}: steady FPS {results[label].steady_fps:.1f} "
               f"vs baseline {baseline.steady_fps:.1f}")
         print(f"REPRODUCE: python -m repro.experiments chaos "
-              f"--seed {seed} --fault-class {label}{quick_flag}")
+              f"--seed {seed} --fault-class {label}{quick_flag}{strict_flag}")
     return 1 if failing else 0
+
+
+def cmd_fuzz(max_samples: int, seed: int, out_dir: str, jobs=None,
+             cache: bool = True, quick: bool = False,
+             replay_path: str = None, shrink: bool = True) -> int:
+    """Property-based scenario fuzzing (or reproducer replay).
+
+    Samples schema-valid scenario documents from a seeded RNG, runs each
+    through the experiment engine under the strict invariant auditor plus
+    the crash-recovery bar, shrinks every failure to a minimal reproducer
+    file, and prints one REPRODUCE line per finding. ``--replay PATH``
+    re-runs one reproducer (or bare scenario) file instead of sampling.
+    Exit code 1 iff any sample (or the replayed file) fails.
+    """
+    from repro.scenario import load_reproducer, run_fuzz, scenario_digest
+
+    documents = None
+    if replay_path is not None:
+        document, stored = load_reproducer(replay_path)
+        documents = [document]
+        print(f"Replaying {replay_path} "
+              f"(scenario sha256 {scenario_digest(document)[:12]}...)")
+        if stored is not None:
+            expect = stored.get("invariant") or stored.get("error") or ""
+            print(f"  recorded finding: {stored.get('status')} {expect}".rstrip())
+        shrink = False  # a reproducer is already minimal; just re-run it
+
+    report = run_fuzz(
+        max_samples=max_samples,
+        seed=seed,
+        out_dir=out_dir,
+        strict_audit=True,
+        jobs=jobs,
+        cache=cache,
+        quick=quick,
+        documents=documents,
+        shrink=shrink,
+    )
+
+    print(f"Fuzz campaign: {report['samples']} samples, base seed {seed}, "
+          f"strict audit on")
+    print(f"  ok={report['ok']} findings={len(report['findings'])} "
+          f"executed={report['executed']} cache-hits={report['cache_hits']} "
+          f"wall={report['wall_s']:.1f}s")
+    quick_flag = " --quick" if quick else ""
+    for finding in report["findings"]:
+        outcome = finding["outcome"]
+        what = outcome.get("invariant") or outcome.get("error") or ""
+        print(f"\nFINDING [{outcome['status']}] {what}: "
+              f"{outcome.get('message', '')}")
+        print(f"  fuzz seed {finding['fuzz_seed']}, shrunk with "
+              f"{finding['shrink_checks']} re-runs -> {finding['reproducer']}")
+        print(f"  scenario sha256 {finding['scenario_sha256']}")
+        print(f"REPRODUCE: python -m repro.experiments fuzz "
+              f"--replay {finding['reproducer']}"
+              f"  # sha256 {finding['scenario_sha256'][:12]}")
+    if not report["findings"]:
+        if replay_path is not None:
+            print("  replay ran clean — the finding did not reproduce")
+        else:
+            print(f"  all samples clean; replay the campaign with:")
+            print(f"  REPRODUCE: python -m repro.experiments fuzz "
+                  f"--seed {seed} --max-samples {max_samples}{quick_flag}")
+    return 1 if report["findings"] else 0
 
 
 COMMANDS = {
@@ -409,7 +490,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=[*COMMANDS, "all", "observe", "bench",
                                  "dashboard", "recover", "fleetserve",
-                                 "flightdeck"])
+                                 "flightdeck", "fuzz"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -467,6 +548,24 @@ def main(argv=None) -> int:
     chaos_group.add_argument("--fault-class", metavar="LABEL", default=None,
                              help="run only this fault class (plus the "
                                   "fault-free baseline)")
+    chaos_group.add_argument("--strict-audit", action="store_true",
+                             help="arm the invariant auditor in strict mode: "
+                                  "the first violation fails the run with a "
+                                  "REPRODUCE line (chaos/recover; fuzz is "
+                                  "always strict)")
+    fuzz_group = parser.add_argument_group("fuzz options")
+    fuzz_group.add_argument("--max-samples", type=int, default=50, metavar="N",
+                            help="scenario samples to draw (default 50)")
+    fuzz_group.add_argument("--fuzz-dir", metavar="DIR",
+                            default="fuzz-reproducers",
+                            help="where shrunken reproducer scenario files "
+                                 "land (default fuzz-reproducers/)")
+    fuzz_group.add_argument("--replay", metavar="PATH", default=None,
+                            help="re-run one reproducer (or bare scenario) "
+                                 "file instead of sampling")
+    fuzz_group.add_argument("--no-shrink", action="store_true",
+                            help="report findings without delta-debugging "
+                                 "them to minimal reproducers")
     fleet_group = parser.add_argument_group("fleetserve options")
     fleet_group.add_argument("--workers", type=int, default=None, metavar="N",
                              help="override the simulation-worker pool size")
@@ -488,7 +587,7 @@ def main(argv=None) -> int:
     engine.set_cache_default(not args.no_cache)
     prev_fast_forward = fastforward.enabled_default()
     fastforward.set_enabled(not args.no_fast_forward)
-    if args.experiment in ("chaos", "recover"):
+    if args.experiment in ("chaos", "recover", "fuzz"):
         # Fault-plan runs must execute every event: injected faults and
         # recovery flows are exactly the aperiodic behaviour the skip
         # detector exists to avoid, and the injector adds a per-simulator
@@ -541,7 +640,8 @@ def _dispatch(args, parser) -> int:
         from repro.experiments.recover import cmd_recover
 
         return cmd_recover(
-            quick=args.quick, report_path=args.report, seed=args.seed
+            quick=args.quick, report_path=args.report, seed=args.seed,
+            strict_audit=args.strict_audit,
         )
     if args.experiment == "fleetserve":
         from repro.experiments.fleetserve import cmd_fleetserve
@@ -560,7 +660,14 @@ def _dispatch(args, parser) -> int:
         return cmd_flightdeck(events_path=args.events, out_path=args.out)
     if args.experiment == "chaos":
         return cmd_chaos(args.quick, seed=args.seed,
-                         fault_class=args.fault_class)
+                         fault_class=args.fault_class,
+                         strict_audit=args.strict_audit)
+    if args.experiment == "fuzz":
+        return cmd_fuzz(max_samples=args.max_samples, seed=args.seed,
+                        out_dir=args.fuzz_dir, jobs=args.jobs,
+                        cache=not args.no_cache, quick=args.quick,
+                        replay_path=args.replay,
+                        shrink=not args.no_shrink)
     if args.experiment == "all":
         for name, command in COMMANDS.items():
             print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")

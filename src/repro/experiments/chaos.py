@@ -123,6 +123,7 @@ def run_chaos(
     watchdog_margin: Optional[float] = 6.0,
     keep_trace: bool = False,
     audit: bool = False,
+    strict_audit: bool = False,
 ) -> ChaosResult:
     """Run one app under one fault plan; fully deterministic per seed.
 
@@ -131,7 +132,9 @@ def run_chaos(
     injection). ``watchdog_margin`` arms the copy planner's per-operation
     deadline at ``margin × estimate``; ``None`` leaves watchdogs off.
     ``audit=True`` installs the runtime invariant auditor (non-raising;
-    violations are counted into the result).
+    violations are counted into the result); ``strict_audit=True``
+    implies ``audit`` and raises
+    :class:`~repro.errors.InvariantViolation` on the first violation.
     """
     plan = plan if plan is not None else default_chaos_plan()
     app = app if app is not None else UhdVideoApp()
@@ -149,10 +152,10 @@ def run_chaos(
         injector.install(emulator)
 
     auditor = None
-    if audit:
+    if audit or strict_audit:
         from repro.recovery.audit import install_auditor
 
-        auditor = install_auditor(emulator)
+        auditor = install_auditor(emulator, raise_on_violation=strict_audit)
 
     if not app.install(sim, emulator):
         raise RuntimeError(f"app {app.name!r} failed to install on {emulator_name}")
@@ -213,6 +216,8 @@ def run_fault_classes(
     duration_ms: float = DEFAULT_CHAOS_DURATION_MS,
     seed: int = 0,
     only: Optional[str] = None,
+    audit: bool = False,
+    strict_audit: bool = False,
 ) -> Dict[str, ChaosResult]:
     """One run per fault class, plus fault-free and the full scenario.
 
@@ -220,7 +225,9 @@ def run_fault_classes(
     how much FPS each class of disturbance costs on its own. ``only``
     restricts the sweep to a single class (the fault-free baseline is
     always included for comparison) — the shape the chaos CLI's
-    one-line reproducer commands replay.
+    one-line reproducer commands replay. ``audit``/``strict_audit``
+    arm the invariant auditor on every run (strict = first violation
+    raises), matching the ``--strict-audit`` CLI flag.
     """
     plans: Dict[str, FaultPlan] = {
         "fault-free": FaultPlan(),
@@ -244,7 +251,8 @@ def run_fault_classes(
                  if label in ("fault-free", only)}
     return {
         label: run_chaos(
-            emulator_name, duration_ms=duration_ms, seed=seed, plan=plan
+            emulator_name, duration_ms=duration_ms, seed=seed, plan=plan,
+            audit=audit, strict_audit=strict_audit,
         )
         for label, plan in plans.items()
     }

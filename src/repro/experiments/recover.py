@@ -229,8 +229,15 @@ def snapshot_roundtrip_check(
     }
 
 
-def crash_recovery_check(quick: bool = False) -> Dict[str, Any]:
-    """Crash-chaos scenarios: completion, re-admission, bounded frame drop."""
+def crash_recovery_check(
+    quick: bool = False, strict_audit: bool = False
+) -> Dict[str, Any]:
+    """Crash-chaos scenarios: completion, re-admission, bounded frame drop.
+
+    ``strict_audit=True`` makes the auditor raise
+    :class:`~repro.errors.InvariantViolation` on the first violation
+    instead of tallying them.
+    """
     from repro.experiments.chaos import (
         crash_chaos_plan,
         crash_with_faults_plan,
@@ -248,7 +255,8 @@ def crash_recovery_check(quick: bool = False) -> Dict[str, Any]:
     }
     out: Dict[str, Any] = {"baseline_fps": baseline.fps, "scenarios": {}}
     for label, plan in scenarios.items():
-        result = run_chaos(plan=plan, duration_ms=duration, audit=True)
+        result = run_chaos(plan=plan, duration_ms=duration, audit=True,
+                           strict_audit=strict_audit)
         out["scenarios"][label] = {
             "fps": result.fps,
             "steady_fps": result.steady_fps,
@@ -270,6 +278,7 @@ def crash_recovery_check(quick: bool = False) -> Dict[str, Any]:
 def audited_grid_check(
     quick: bool = False,
     emulators: Tuple[str, ...] = ("vSoC", "GAE", "Trinity"),
+    strict_audit: bool = False,
 ) -> Dict[str, Any]:
     """Run the non-chaos grid with the auditor on: must be violation-free."""
     duration = 4_000.0 if quick else 8_000.0
@@ -285,7 +294,8 @@ def audited_grid_check(
                 # coherence violation.
                 grid[f"{emulator_name}/{app_name}"] = {"skipped": True}
                 continue
-            auditor = install_auditor(harness.emulator)
+            auditor = install_auditor(harness.emulator,
+                                      raise_on_violation=strict_audit)
             harness.sim.run(until=duration)
             auditor.sweep()  # one final sweep at the end state
             report = auditor.report()
@@ -298,12 +308,30 @@ def audited_grid_check(
     return {"grid": grid, "total_violations": total}
 
 
+def _recover_reproduce_line(quick: bool, seed: int, strict_audit: bool) -> str:
+    """The one-line command that replays this exact recover run."""
+    flags = ""
+    if quick:
+        flags += " --quick"
+    if strict_audit:
+        flags += " --strict-audit"
+    return f"REPRODUCE: python -m repro.experiments recover --seed {seed}{flags}"
+
+
 def cmd_recover(
     quick: bool = False,
     report_path: Optional[str] = None,
     seed: int = 0,
+    strict_audit: bool = False,
 ) -> int:
-    """The ``recover`` subcommand. Returns a process exit code."""
+    """The ``recover`` subcommand. Returns a process exit code.
+
+    ``strict_audit=True`` arms the invariant auditor in raising mode for
+    the crash scenarios and the non-chaos grid; the first violation
+    aborts the run (with a REPRODUCE line) instead of being tallied.
+    """
+    from repro.errors import InvariantViolation
+
     cuts = [1_234.5, 2_000.0] if quick else [987.6, 1_500.0, 2_345.0, 3_000.0, 4_321.0]
     total = 5_000.0 if quick else 6_000.0
 
@@ -318,19 +346,25 @@ def cmd_recover(
         status = "bit-identical" if entry.get("identical") else f"DIVERGED: {entry.get('error', 'trace tail differs')}"
         print(f"  {entry['emulator']:6s} {entry['app']:6s} T={entry['cut_ms']:7.1f}ms  {status}")
 
-    print("\nDevice-crash recovery:")
-    crash = crash_recovery_check(quick=quick)
-    print(f"  baseline fps: {crash['baseline_fps']:.1f}")
-    for label, r in crash["scenarios"].items():
-        print(
-            f"  {label:18s} fps={r['fps']:.1f} crashes={r['crashes']} "
-            f"recoveries={r['recoveries']} aborted={r['aborted_commands']} "
-            f"poisoned={r['poisoned_fences']} replayed={r['replayed_copies']} "
-            f"violations={r['audit_violations']}"
-        )
+    try:
+        print("\nDevice-crash recovery:")
+        crash = crash_recovery_check(quick=quick, strict_audit=strict_audit)
+        print(f"  baseline fps: {crash['baseline_fps']:.1f}")
+        for label, r in crash["scenarios"].items():
+            print(
+                f"  {label:18s} fps={r['fps']:.1f} crashes={r['crashes']} "
+                f"recoveries={r['recoveries']} aborted={r['aborted_commands']} "
+                f"poisoned={r['poisoned_fences']} replayed={r['replayed_copies']} "
+                f"violations={r['audit_violations']}"
+            )
 
-    print("\nAudited non-chaos grid:")
-    audited = audited_grid_check(quick=quick)
+        print("\nAudited non-chaos grid:")
+        audited = audited_grid_check(quick=quick, strict_audit=strict_audit)
+    except InvariantViolation as err:
+        print(f"\nFAILED: invariant {err.invariant!r} violated under "
+              f"strict audit: {err}")
+        print(_recover_reproduce_line(quick, seed, strict_audit))
+        return 1
     for cell, r in audited["grid"].items():
         if r.get("skipped"):
             print(f"  {cell:16s} skipped (workload unsupported)")
@@ -354,6 +388,7 @@ def cmd_recover(
     report = {
         "quick": quick,
         "seed": seed,
+        "strict_audit": strict_audit,
         "roundtrip": roundtrip,
         "checkpoint_restore": matrix,
         "crash_recovery": crash,
@@ -368,6 +403,7 @@ def cmd_recover(
 
     if failures:
         print(f"\nFAILED: {', '.join(failures)}")
+        print(_recover_reproduce_line(quick, seed, strict_audit))
         return 1
     print("\nAll recovery acceptance checks passed.")
     return 0

@@ -11,8 +11,8 @@ plan replayed with one seed yields one trace, bit for bit.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import ConfigurationError
 
@@ -409,6 +409,132 @@ class FaultPlan:
                     raise ConfigurationError(
                         f"overlapping {label} windows: {a} overlaps {b}"
                     )
+
+    # -- serialization ---------------------------------------------------------
+    #: Section name -> event-list attribute. The serialized form mirrors the
+    #: builder-expanded event lists (``flap_bus`` round-trips as its
+    #: individual ``bus_loads``), so ``from_dict(to_dict(p))`` rebuilds the
+    #: exact same timeline.
+    _SECTIONS = (
+        "bus_loads",
+        "copy_windows",
+        "stalls",
+        "resets",
+        "transport_windows",
+        "crashes",
+        "worker_faults",
+    )
+
+    def to_dict(self) -> Dict[str, List[Dict[str, Any]]]:
+        """The plan as plain JSON-able data (scenario files, reproducers).
+
+        Empty sections are omitted, so an empty plan serializes to ``{}``.
+        """
+        doc: Dict[str, List[Dict[str, Any]]] = {}
+        for section in self._SECTIONS:
+            events = getattr(self, section)
+            if events:
+                doc[section] = [asdict(event) for event in events]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output; runs :meth:`validate`.
+
+        Every entry goes back through the corresponding builder, so
+        per-field checks apply exactly as if the plan had been written in
+        Python — then the whole-plan :meth:`validate` pass runs. Raises
+        :class:`~repro.errors.ConfigurationError` naming the offending
+        section/entry on any malformed document.
+        """
+        if not isinstance(doc, Mapping):
+            raise ConfigurationError(
+                f"fault plan document must be a mapping, got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - set(cls._SECTIONS))
+        if unknown:
+            raise ConfigurationError(
+                f"fault plan document has unknown sections {unknown}; "
+                f"known: {list(cls._SECTIONS)}"
+            )
+        plan = cls()
+        for section in cls._SECTIONS:
+            entries = doc.get(section, ())
+            if not isinstance(entries, (list, tuple)):
+                raise ConfigurationError(
+                    f"fault plan section {section!r} must be a list, "
+                    f"got {type(entries).__name__}"
+                )
+            for index, entry in enumerate(entries):
+                if not isinstance(entry, Mapping):
+                    raise ConfigurationError(
+                        f"fault plan {section}[{index}] must be a mapping, "
+                        f"got {type(entry).__name__}"
+                    )
+                try:
+                    plan._append_entry(section, dict(entry))
+                except ConfigurationError as err:
+                    raise ConfigurationError(
+                        f"fault plan {section}[{index}]: {err}"
+                    ) from None
+                except (KeyError, TypeError, ValueError) as err:
+                    raise ConfigurationError(
+                        f"fault plan {section}[{index}] is malformed: {err!r}"
+                    ) from None
+        return plan.validate()
+
+    def _append_entry(self, section: str, entry: Dict[str, Any]) -> None:
+        """One serialized event back through its builder (field checks)."""
+
+        def need(keys: tuple, optional: tuple = ()) -> None:
+            missing = [k for k in keys if k not in entry]
+            extra = sorted(set(entry) - set(keys) - set(optional))
+            if missing or extra:
+                raise ConfigurationError(
+                    f"expected keys {list(keys)}"
+                    + (f" (optional {list(optional)})" if optional else "")
+                    + f"; missing {missing}, unknown {extra}"
+                )
+
+        if section == "bus_loads":
+            need(("time_ms", "bus", "load"))
+            self.set_bus_load(float(entry["time_ms"]), str(entry["bus"]),
+                              float(entry["load"]))
+        elif section == "copy_windows":
+            need(("start_ms", "end_ms", "probability"), optional=("bus",))
+            bus = entry.get("bus")
+            self.copy_faults(float(entry["start_ms"]), float(entry["end_ms"]),
+                             float(entry["probability"]),
+                             bus=None if bus is None else str(bus))
+        elif section == "stalls":
+            need(("time_ms", "device", "duration_ms"))
+            self.stall_device(float(entry["time_ms"]), str(entry["device"]),
+                              float(entry["duration_ms"]))
+        elif section == "resets":
+            need(("time_ms", "device", "downtime_ms"))
+            self.reset_device(float(entry["time_ms"]), str(entry["device"]),
+                              float(entry["downtime_ms"]))
+        elif section == "transport_windows":
+            need(("start_ms", "end_ms"),
+                 optional=("drop_probability", "delay_probability", "delay_ms"))
+            self.transport_faults(
+                float(entry["start_ms"]), float(entry["end_ms"]),
+                drop_probability=float(entry.get("drop_probability", 0.0)),
+                delay_probability=float(entry.get("delay_probability", 0.0)),
+                delay_ms=float(entry.get("delay_ms", 0.0)),
+            )
+        elif section == "crashes":
+            need(("time_ms", "vdev", "downtime_ms"))
+            self.crash_device(float(entry["time_ms"]), str(entry["vdev"]),
+                              float(entry["downtime_ms"]))
+        else:  # worker_faults
+            need(("time_ms", "worker", "kind", "duration_ms"),
+                 optional=("factor",))
+            self._worker_fault(
+                float(entry["time_ms"]), str(entry["worker"]),
+                str(entry["kind"]), float(entry["duration_ms"]),
+                factor=float(entry.get("factor", 1.0)),
+            )
 
     # -- introspection --------------------------------------------------------
     def last_fault_time(self) -> float:

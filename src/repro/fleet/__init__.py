@@ -13,6 +13,8 @@ from repro.fleet.arrivals import (
     SessionSpec,
     crash_storm_plan,
     generate_trace,
+    sessions_from_scenario,
+    trace_from_scenario,
 )
 from repro.fleet.clock import ClockHandle, FleetEvent, VirtualClock
 from repro.fleet.migration import (
@@ -50,4 +52,6 @@ __all__ = [
     "generate_trace",
     "migrate_session",
     "restore_session",
+    "sessions_from_scenario",
+    "trace_from_scenario",
 ]

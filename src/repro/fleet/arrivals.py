@@ -272,3 +272,92 @@ def crash_storm_plan(
         at = max(start_ms, busy_until.get(victim, 0.0))
         plan.slow_heartbeat(at, victim, duration_ms=downtime_ms, factor=2.5)
     return plan.validate()
+
+
+#: Stagger between the apps of one scenario cohort, so concurrent-app
+#: mixes don't all land on the admission controller in the same tick.
+SCENARIO_APP_STAGGER_MS = 50.0
+
+
+def sessions_from_scenario(
+    scenario,
+    cohorts: int = 1,
+    spacing_ms: float = 2_000.0,
+    start_ms: float = 0.0,
+) -> List[SessionSpec]:
+    """Lower a scenario document's app mix into fleet session requests.
+
+    Each app stanza becomes one :class:`SessionSpec` per cohort: the
+    pipeline's fleet profile (declared in the scenario schema) supplies
+    the frame interval / load / SLO numbers, the stanza's ``priority``
+    carries over, and the session duration is the scenario's
+    ``duration_ms``. ``cohorts`` replays the whole mix every
+    ``spacing_ms`` — the shape a farm serving many copies of the same
+    workload sees. Per-session seeds come from one RNG keyed on the
+    scenario's name and seed, so a given (scenario, cohorts) pair always
+    produces the same trace.
+    """
+    # Local import: the scenario package builds on apps/faults and does
+    # not know about the fleet; the dependency points this way only.
+    from repro.scenario.compiler import CompiledScenario, compile_scenario
+    from repro.scenario.schema import PIPELINES
+
+    compiled = (
+        scenario
+        if isinstance(scenario, CompiledScenario)
+        else compile_scenario(scenario)
+    )
+    if cohorts < 1:
+        raise ConfigurationError(f"cohorts must be >= 1, got {cohorts}")
+    if spacing_ms <= 0:
+        raise ConfigurationError(f"spacing_ms must be > 0, got {spacing_ms}")
+    rng = random.Random(f"scenario-fleet:{compiled.name}:{compiled.seed}")
+    sessions: List[SessionSpec] = []
+    for cohort in range(cohorts):
+        cohort_start = start_ms + cohort * spacing_ms
+        for index, stanza in enumerate(compiled.document["apps"]):
+            profile = PIPELINES[stanza["pipeline"]].fleet_profile
+            interval, load, target_fps, _weight = APP_PROFILES[profile]
+            sessions.append(SessionSpec(
+                session_id=f"{compiled.name}-c{cohort:02d}-{stanza['name']}",
+                app=profile,
+                arrival_ms=cohort_start + index * SCENARIO_APP_STAGGER_MS,
+                duration_ms=compiled.duration_ms,
+                priority=compiled.app_priorities[index],
+                frame_interval_ms=interval,
+                load=load,
+                target_fps=target_fps,
+                seed=rng.getrandbits(32),
+            ))
+    return sessions
+
+
+def trace_from_scenario(
+    scenario,
+    cohorts: int = 1,
+    spacing_ms: float = 2_000.0,
+    start_ms: float = 0.0,
+) -> ArrivalTrace:
+    """An :class:`ArrivalTrace` built from a compiled scenario's app mix.
+
+    The fleet-service counterpart of :func:`generate_trace`: instead of a
+    synthetic diurnal rate, arrivals are the scenario's concurrent apps
+    (repeated ``cohorts`` times), ready for
+    :meth:`~repro.fleet.service.FleetService.serve`.
+    """
+    from repro.scenario.compiler import CompiledScenario, compile_scenario
+
+    compiled = (
+        scenario
+        if isinstance(scenario, CompiledScenario)
+        else compile_scenario(scenario)
+    )
+    sessions = sessions_from_scenario(
+        compiled, cohorts=cohorts, spacing_ms=spacing_ms, start_ms=start_ms
+    )
+    sessions.sort(key=lambda s: (s.arrival_ms, s.session_id))
+    horizon = max(
+        (s.arrival_ms + s.duration_ms for s in sessions),
+        default=start_ms,
+    )
+    return ArrivalTrace(tuple(sessions), horizon, compiled.seed)

@@ -1,0 +1,189 @@
+"""Delta-debugging shrinker: failing scenario → minimal reproducer.
+
+Given a scenario document that fails (an invariant violation, a missed
+recovery bar, an engine error) and a predicate that re-runs a candidate
+and reports whether it *still fails the same way*, :func:`shrink_scenario`
+greedily minimizes the document:
+
+1. **structure passes** — drop whole optional sections (``environment``,
+   ``audit``, each fault section), then remove list elements one at a
+   time (apps, graph stages, bus-load / thermal events, fault events),
+   then drop optional keys from app stanzas;
+2. **scalar passes** — move numbers toward their schema defaults: first
+   the exact default, then the midpoint between current and default
+   (one bisection step per round; the fixpoint loop compounds them).
+
+Every candidate is schema-validated before it is run — an invalid
+candidate counts as "does not fail the same way" and is discarded — so
+the minimized document is always loadable. The loop repeats to a
+fixpoint or until ``max_checks`` predicate calls, whichever first.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenario.schema import (
+    DEFAULT_AUDIT_INTERVAL_MS,
+    DEFAULT_FENCE_DEADLINE_MS,
+    PIPELINES,
+    validate_scenario,
+)
+
+#: Scalar shrink targets for top-level / audit knobs. ``duration_ms``
+#: shrinks toward the shortest run that can still express a failure, not
+#: the schema default — shorter reproducers replay faster.
+_SCALAR_TARGETS = {
+    ("duration_ms",): 2_000.0,
+    ("seed",): 0,
+    ("audit", "interval_ms"): DEFAULT_AUDIT_INTERVAL_MS,
+    ("audit", "fence_wait_deadline_ms"): DEFAULT_FENCE_DEADLINE_MS,
+}
+
+#: App-stanza keys that can never be dropped.
+_APP_REQUIRED = ("name", "pipeline", "stages")
+
+
+def _get_path(doc: Mapping, path: Tuple[Any, ...]) -> Any:
+    node: Any = doc
+    for step in path:
+        if isinstance(node, Mapping):
+            if step not in node:
+                return None
+            node = node[step]
+        else:
+            node = node[step]
+    return node
+
+
+def _without_key(doc: Dict, path: Tuple[Any, ...], key: Any) -> Dict:
+    out = copy.deepcopy(doc)
+    node = _get_path(out, path)
+    del node[key]
+    return out
+
+
+def _without_item(doc: Dict, path: Tuple[Any, ...], index: int) -> Dict:
+    out = copy.deepcopy(doc)
+    node = _get_path(out, path)
+    del node[index]
+    return out
+
+
+def _with_value(doc: Dict, path: Tuple[Any, ...], value: Any) -> Dict:
+    out = copy.deepcopy(doc)
+    node = _get_path(out, path[:-1])
+    node[path[-1]] = value
+    return out
+
+
+def _structure_candidates(doc: Dict) -> Iterator[Dict]:
+    """Section drops, list-element drops, optional-key drops — in order
+    of how much each would remove."""
+    # Whole optional sections first (biggest single cuts).
+    for key in ("environment", "audit"):
+        if key in doc:
+            yield _without_key(doc, (), key)
+    env = doc.get("environment", {})
+    for key in ("faults", "bus_load", "thermal"):
+        if key in env:
+            yield _without_key(doc, ("environment",), key)
+    for section, events in sorted(env.get("faults", {}).items()):
+        yield _without_key(doc, ("environment", "faults"), section)
+        for index in range(len(events)):
+            yield _without_item(doc, ("environment", "faults", section), index)
+    for key in ("bus_load", "thermal"):
+        for index in range(len(env.get(key, []))):
+            yield _without_item(doc, ("environment", key), index)
+    # Apps: drop whole stanzas (schema requires at least one).
+    apps = doc.get("apps", [])
+    if len(apps) > 1:
+        for index in range(len(apps)):
+            yield _without_item(doc, ("apps",), index)
+    # Graph stages and optional app knobs.
+    for i, stanza in enumerate(apps):
+        stages = stanza.get("stages", [])
+        if len(stages) > 1:
+            for index in range(len(stages)):
+                yield _without_item(doc, ("apps", i, "stages"), index)
+        for key in sorted(stanza):
+            if key not in _APP_REQUIRED:
+                yield _without_key(doc, ("apps", i), key)
+    # Audit knobs one at a time.
+    for key in sorted(doc.get("audit", {})):
+        yield _without_key(doc, ("audit",), key)
+
+
+def _scalar_candidates(doc: Dict) -> Iterator[Dict]:
+    """Move scalars toward defaults: exact default, then one midpoint."""
+    targets: List[Tuple[Tuple[Any, ...], Any]] = []
+    for path, target in _SCALAR_TARGETS.items():
+        current = _get_path(doc, path)
+        if current is not None and current != target:
+            targets.append((path, target))
+    for i, stanza in enumerate(doc.get("apps", [])):
+        pipeline = PIPELINES.get(stanza.get("pipeline"))
+        if pipeline is None:
+            continue
+        for key, checker in pipeline.fields.items():
+            default = getattr(checker, "default", None)
+            if default is None or key not in stanza:
+                continue
+            if stanza[key] != default:
+                targets.append((("apps", i, key), default))
+    for path, target in targets:
+        current = _get_path(doc, path)
+        yield _with_value(doc, path, target)
+        if isinstance(current, float) or isinstance(target, float):
+            midpoint = (float(current) + float(target)) / 2.0
+            if midpoint not in (current, target):
+                yield _with_value(doc, path, midpoint)
+        elif isinstance(current, int) and isinstance(target, int):
+            midpoint = (current + target) // 2
+            if midpoint not in (current, target):
+                yield _with_value(doc, path, midpoint)
+
+
+def shrink_scenario(
+    doc: Mapping[str, Any],
+    still_fails: Callable[[Dict[str, Any]], bool],
+    max_checks: int = 250,
+) -> Tuple[Dict[str, Any], int]:
+    """Minimize ``doc`` while ``still_fails`` holds; returns (doc, checks).
+
+    ``still_fails`` must return True only when the candidate reproduces
+    the *same* failure (same status + invariant/error signature) — the
+    fuzzer builds that closure around :func:`scenario_point`.
+    """
+    current = copy.deepcopy(dict(doc))
+    checks = 0
+
+    def attempt(candidate: Dict[str, Any]) -> bool:
+        nonlocal checks
+        try:
+            validate_scenario(candidate)
+        except ConfigurationError:
+            return False  # never run (or keep) an invalid candidate
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return still_fails(candidate)
+
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for make_candidates in (_structure_candidates, _scalar_candidates):
+            # Regenerate from the *current* doc after every acceptance:
+            # accepted cuts shift list indices under later candidates.
+            accepted = True
+            while accepted and checks < max_checks:
+                accepted = False
+                for candidate in make_candidates(current):
+                    if attempt(candidate):
+                        current = candidate
+                        progress = True
+                        accepted = True
+                        break
+    return current, checks
