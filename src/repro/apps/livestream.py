@@ -76,18 +76,20 @@ class LivestreamApp(App):
         wire: FifoQueue = FifoQueue(sim, capacity=3, name=f"{self.name}.wire")
         bitstream: FifoQueue = FifoQueue(sim, capacity=3, name=f"{self.name}.net")
         sim.spawn(flinger.run(), name=f"{self.name}:sf")
-        sim.spawn(self._server(sim, wire), name=f"{self.name}:server")
+        sim.spawn(self._server(sim, emulator, wire), name=f"{self.name}:server")
         sim.spawn(self._receiver(sim, emulator, wire, bitstream), name=f"{self.name}:recv")
         sim.spawn(
             self._decoder(sim, emulator, bitstream, queue, flinger),
             name=f"{self.name}:decode",
         )
 
-    def _server(self, sim: Simulator, wire: FifoQueue):
+    def _server(self, sim: Simulator, emulator: Emulator, wire: FifoQueue):
         """Process: nginx emits one frame per period, with network jitter.
 
         The server's clock is not phase-locked to the client's VSync, and
         LAN delivery jitters by fractions of a millisecond to milliseconds.
+        Each frame opens a causal-trace flow at the server (the §5.3
+        screen-flash anchor), so attribution covers the network leg too.
         """
         import random
 
@@ -96,7 +98,12 @@ class LivestreamApp(App):
         yield Timeout(rng.uniform(0.0, VSYNC_PERIOD_MS))
         while not self._stopped:
             yield Timeout(VSYNC_PERIOD_MS * (1.0 + rng.uniform(-0.04, 0.04)))
-            if not wire.try_put(FrameMeta(birth=sim.now, sequence=sequence)):
+            meta = FrameMeta(
+                birth=sim.now,
+                sequence=sequence,
+                flow=emulator.obs.tracer.new_flow(),
+            )
+            if not wire.try_put(meta):
                 self.fps.note_dropped("network-overrun")
             sequence += 1
 

@@ -19,6 +19,8 @@ Usage::
         [--out fleet.html] [--report fleet.json] [--live out/]
     python -m repro.experiments flightdeck --events out/events.jsonl \
         [--out flightdeck.html]
+    python -m repro.experiments explain --app ar --emulator vsoc \
+        [--against qemu_kvm] [--out attribution.json] [--deadline 50]
 
 Each command prints the regenerated rows/series next to the paper's
 reference values. ``--quick`` shortens simulated durations and app counts
@@ -490,7 +492,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=[*COMMANDS, "all", "observe", "bench",
                                  "dashboard", "recover", "fleetserve",
-                                 "flightdeck", "fuzz"])
+                                 "flightdeck", "fuzz", "explain"])
     parser.add_argument("--quick", action="store_true",
                         help="shorter runs, fewer apps (same shapes)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -540,6 +542,22 @@ def main(argv=None) -> int:
                                help="per-instrument sample retention (gauge "
                                     "timelines / histogram reservoirs; "
                                     "default 512)")
+    observe_group.add_argument("--max-spans", type=int, default=None,
+                               metavar="N",
+                               help="bounded ring mode: keep only the newest "
+                                    "N spans/instants (evictions are counted "
+                                    "and surfaced; attribution refuses "
+                                    "truncated traces)")
+    explain_group = parser.add_argument_group("explain options")
+    explain_group.add_argument("--against", metavar="EMULATOR", default=None,
+                               help="diff mode: run EMULATOR on the same app "
+                                    "and localize where it spends more than "
+                                    "--emulator (case-insensitive, "
+                                    "qemu_kvm == QEMU-KVM)")
+    explain_group.add_argument("--deadline", type=float, default=None,
+                               metavar="MS",
+                               help="frame-deadline SLO to grade against "
+                                    "(default 50 ms)")
     recover_group = parser.add_argument_group("recover options")
     recover_group.add_argument("--report", metavar="PATH", default=None,
                                help="write the recovery/audit JSON report here "
@@ -635,6 +653,23 @@ def _dispatch(args, parser) -> int:
             seed=args.seed,
             include_tracelog=args.include_tracelog,
             reservoir=args.reservoir,
+            max_spans=args.max_spans,
+        )
+    if args.experiment == "explain":
+        from repro.experiments.explain import DEFAULT_DURATION_MS, cmd_explain
+
+        duration = args.duration
+        if duration is None:
+            duration = 4_000.0 if args.quick else DEFAULT_DURATION_MS
+        return cmd_explain(
+            app=args.app,
+            emulator=args.emulator,
+            against=args.against,
+            duration_ms=duration,
+            seed=args.seed,
+            out_path=args.out,
+            deadline_ms=args.deadline,
+            cache=not args.no_cache,
         )
     if args.experiment == "recover":
         from repro.experiments.recover import cmd_recover

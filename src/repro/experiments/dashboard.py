@@ -36,7 +36,13 @@ QUICK_DURATION_MS = 2_000.0
 
 def fleet_specs(duration_ms: float = DEFAULT_DURATION_MS,
                 seed: int = 0) -> List[RunSpec]:
-    """The dashboard's run grid, telemetry capture on."""
+    """The dashboard's run grid, telemetry + latency attribution on.
+
+    Attribution mirrors per-(category × device) budget totals into
+    ``budget.ms`` counters on each snapshot, which the aggregator rolls
+    up like any other counter — the dashboard's per-session budget bars
+    come for free from the ordinary fleet pipeline.
+    """
     return [
         RunSpec(
             app_factory=factory,
@@ -45,6 +51,7 @@ def fleet_specs(duration_ms: float = DEFAULT_DURATION_MS,
             duration_ms=duration_ms,
             seed=seed,
             telemetry=True,
+            attribution=True,
         )
         for emulator in FLEET_EMULATORS
         for _label, factory in FLEET_APPS

@@ -87,6 +87,9 @@ class RunSpec:
     emulator_kwargs: Mapping[str, Any] = field(default_factory=dict)
     #: Capture a TelemetrySnapshot in the worker (see repro.obs.fleet).
     telemetry: bool = False
+    #: Fold the run's spans into a LatencyBudget on the snapshot (implies
+    #: telemetry; see repro.obs.critical).
+    attribution: bool = False
 
     @property
     def app_name(self) -> str:
@@ -320,6 +323,7 @@ def execute_spec(spec: Spec) -> Any:
         trace_kinds=list(spec.trace_kinds) if spec.trace_kinds is not None else None,
         factory=factory,
         telemetry=spec.telemetry,
+        attribution=spec.attribution,
     )
     stats = StatsSummary.from_stats(run.stats) if run.stats is not None else None
     return RunResult(result=run.result, stats=stats, telemetry=run.telemetry)
@@ -491,6 +495,7 @@ def specs_for_apps(
     emulator_factory: Optional[str] = None,
     emulator_kwargs: Optional[Mapping[str, Any]] = None,
     telemetry: bool = False,
+    attribution: bool = False,
 ) -> List[RunSpec]:
     """RunSpecs for a catalog parameter list on one emulator/machine."""
     kinds = tuple(trace_kinds) if trace_kinds is not None else None
@@ -506,6 +511,7 @@ def specs_for_apps(
             emulator_factory=emulator_factory,
             emulator_kwargs=dict(emulator_kwargs or {}),
             telemetry=telemetry,
+            attribution=attribution,
         )
         for path, kwargs in app_params
     ]

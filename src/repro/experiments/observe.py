@@ -81,6 +81,7 @@ def run_observe(
     machine_spec=HIGH_END_DESKTOP,
     include_tracelog: bool = False,
     reservoir: Optional[int] = None,
+    max_spans: Optional[int] = None,
 ) -> ObserveResult:
     """Run one observed app; returns the trace + metrics dicts.
 
@@ -89,6 +90,9 @@ def run_observe(
     so pre-observability instrumentation shows up alongside the spans.
     ``reservoir`` overrides the registry's per-instrument sample retention
     (gauge timelines and histogram reservoirs; default 512).
+    ``max_spans`` puts the tracer in bounded ring mode: only the newest N
+    spans/instants survive and :attr:`Tracer.dropped_spans` counts the
+    evictions (surfaced in the CLI summary and export metadata).
     """
     if app not in APPS:
         raise ValueError(f"unknown app {app!r}; choose from {sorted(APPS)}")
@@ -100,7 +104,7 @@ def run_observe(
     sim = Simulator()
     machine = build_machine(sim, machine_spec)
     tracelog = TraceLog()
-    obs = Observability(sim, reservoir=reservoir)
+    obs = Observability(sim, reservoir=reservoir, max_spans=max_spans)
     make = EMULATOR_FACTORIES[emulator]
     emu = make(sim, machine, trace=tracelog, rng=random.Random(seed), obs=obs)
 
@@ -144,11 +148,13 @@ def cmd_observe(
     seed: int = 0,
     include_tracelog: bool = False,
     reservoir: Optional[int] = None,
+    max_spans: Optional[int] = None,
 ) -> int:
     """CLI body: run, validate, write artifacts, print a digest."""
     run = run_observe(
         app=app, emulator=emulator, duration_ms=duration_ms, seed=seed,
         include_tracelog=include_tracelog, reservoir=reservoir,
+        max_spans=max_spans,
     )
     errors = validate_chrome_trace(run.trace)
     if errors:
@@ -163,6 +169,12 @@ def cmd_observe(
           f"(presented {run.result.presented}, dropped {sum(run.result.dropped.values())})")
     print(f"  spans: {len(tracer.spans)}  instants: {len(tracer.instants)}  "
           f"trace events: {len(events)}")
+    if tracer.max_spans is not None:
+        print(f"  span retention: ring (max_spans={tracer.max_spans})  "
+              f"dropped spans: {tracer.dropped_spans}")
+        if tracer.dropped_spans:
+            print("  WARNING: the ring cap evicted spans — flows may be "
+                  "truncated and latency attribution will refuse this trace")
     print(f"  frame flows: {len(tracer.flows())}  "
           f"fully connected (svm → coherence/prefetch → presented): {len(run.connected)}")
 

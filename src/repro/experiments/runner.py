@@ -62,6 +62,7 @@ def run_app(
     factory: Optional[Callable] = None,
     telemetry: bool = False,
     fast_forward: Optional[bool] = None,
+    attribution: bool = False,
 ) -> AppRun:
     """Run one app on one emulator for ``duration_ms`` of simulated time.
 
@@ -72,6 +73,14 @@ def run_app(
     :class:`~repro.obs.fleet.TelemetrySnapshot` onto the returned
     :class:`AppRun` — observability only reads the clock, so the
     simulated results are bit-identical either way.
+
+    ``attribution`` (implies ``telemetry``) additionally folds the run's
+    causal spans into a :class:`~repro.obs.critical.LatencyBudget` on the
+    snapshot and mirrors the per-(category × device) totals into
+    ``budget.ms`` counters so fleet rollups see them.  Attribution is
+    post-hoc analysis of spans that were recorded anyway: it cannot
+    perturb the run, and FPS/latency digests stay bit-identical with it
+    on or off.
 
     ``fast_forward`` arms the steady-state skip detector (``None`` =
     process default, see ``repro.sim.fastforward.set_enabled``). It is a
@@ -84,7 +93,7 @@ def run_app(
     machine = build_machine(sim, machine_spec)
     trace = TraceLog(kinds=list(trace_kinds) if trace_kinds is not None else None)
     obs = None
-    if telemetry:
+    if telemetry or attribution:
         from repro.obs import Observability
 
         obs = Observability(sim)
@@ -118,7 +127,8 @@ def run_app(
         return AppRun(
             result=app.collect(emulator_name, duration_ms), emulator=None, stats=None,
             telemetry=_capture_telemetry(obs, trace, app, emulator_name,
-                                         duration_ms, seed, result=None),
+                                         duration_ms, seed, result=None,
+                                         attribution=attribution),
         )
 
     ff_ctl = None
@@ -139,15 +149,19 @@ def run_app(
         # Shut the mirror hook down cleanly for post-run trace consumers.
         ff_ctl._disable("run-complete")
     result = app.collect(emulator_name, duration_ms)
+    ff_stats = ff_ctl.stats() if ff_ctl is not None else None
     return AppRun(
         result=result, emulator=emulator, stats=SvmStats(trace, duration_ms),
         telemetry=_capture_telemetry(obs, trace, app, emulator_name,
-                                     duration_ms, seed, result=result),
-        fast_forward=ff_ctl.stats() if ff_ctl is not None else None,
+                                     duration_ms, seed, result=result,
+                                     attribution=attribution,
+                                     fast_forward=ff_stats),
+        fast_forward=ff_stats,
     )
 
 
-def _capture_telemetry(obs, trace, app, emulator_name, duration_ms, seed, result):
+def _capture_telemetry(obs, trace, app, emulator_name, duration_ms, seed, result,
+                       attribution=False, fast_forward=None):
     """Freeze an observed run's state into a picklable snapshot."""
     if obs is None:
         return None
@@ -155,6 +169,17 @@ def _capture_telemetry(obs, trace, app, emulator_name, duration_ms, seed, result
     from repro.obs.fleet import TelemetrySnapshot
 
     ResilienceStats(trace).to_registry(obs.registry)
+    budget = None
+    if attribution:
+        from repro.obs.critical import analyze_tracer
+
+        budget = analyze_tracer(obs.tracer, fast_forward=fast_forward)
+        # Mirror the per-cell totals into counters: fleet rollups and the
+        # dashboard then aggregate budgets with zero aggregator changes.
+        for (category, device), ms in budget.totals().items():
+            obs.registry.counter(
+                "budget.ms", category=category, device=device
+            ).inc(ms)
     meta = {
         "app": app.name,
         "category": app.category,
@@ -167,7 +192,8 @@ def _capture_telemetry(obs, trace, app, emulator_name, duration_ms, seed, result
         meta["fps"] = round(result.fps, 6)
         meta["presented"] = result.presented
     return TelemetrySnapshot.capture(
-        obs.registry, profiler=obs.profiler, tracer=obs.tracer, meta=meta
+        obs.registry, profiler=obs.profiler, tracer=obs.tracer, meta=meta,
+        attribution=budget,
     )
 
 

@@ -27,6 +27,17 @@ from __future__ import annotations
 from typing import Any, Dict, Mapping, Optional
 
 from repro.obs.baseline import RegressionSentinel, SentinelReport
+from repro.obs.critical import (
+    BUDGET_CATEGORIES,
+    BudgetCell,
+    FrameBudget,
+    LatencyBudget,
+    PathStep,
+    TruncatedTraceError,
+    analyze_tracer,
+    budget_from_snapshot,
+)
+from repro.obs.diff import align_frames, diff_budgets
 from repro.obs.events import (
     EVENTS_SCHEMA,
     EventLog,
@@ -56,11 +67,16 @@ from repro.obs.registry import (
     NULL_INSTRUMENT,
     NULL_REGISTRY,
 )
+from repro.obs.slo import SloReport, SloSpec, evaluate_frames, fleet_burn
 from repro.obs.span import NO_FLOW, NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
+    "BUDGET_CATEGORIES",
+    "BudgetCell",
     "EVENTS_SCHEMA",
     "EventLog",
+    "FrameBudget",
+    "LatencyBudget",
     "NO_FLOW",
     "NULL_INSTRUMENT",
     "NULL_REGISTRY",
@@ -73,15 +89,25 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "PathStep",
     "RegressionSentinel",
     "SelfProfiler",
     "SentinelReport",
+    "SloReport",
+    "SloSpec",
     "Span",
     "TelemetrySnapshot",
     "Tracer",
+    "TruncatedTraceError",
+    "align_frames",
+    "analyze_tracer",
     "aggregate_results",
+    "budget_from_snapshot",
     "chrome_trace",
     "connected_flows",
+    "diff_budgets",
+    "evaluate_frames",
+    "fleet_burn",
     "metrics_json",
     "read_event_log",
     "validate_chrome_trace",
@@ -107,11 +133,14 @@ class Observability:
     """
 
     def __init__(self, sim=None, profile: bool = True,
-                 reservoir: Optional[int] = None):
+                 reservoir: Optional[int] = None,
+                 max_spans: Optional[int] = None):
         self.sim = sim
         enabled = sim is not None
         self.enabled = enabled
-        self.tracer = Tracer(sim) if enabled else NULL_TRACER
+        self.tracer = (
+            Tracer(sim, max_spans=max_spans) if enabled else NULL_TRACER
+        )
         self.registry = (
             MetricsRegistry(reservoir=reservoir) if enabled else NULL_REGISTRY
         )
@@ -130,11 +159,13 @@ class Observability:
         self,
         track_groups: Optional[Mapping[str, str]] = None,
         tracelog=None,
+        fast_forward: Optional[Mapping[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Chrome/Perfetto trace dict for this run (see :func:`chrome_trace`)."""
         end = self.sim.now if self.sim is not None else None
         return chrome_trace(
-            self.tracer, track_groups=track_groups, tracelog=tracelog, end_time=end
+            self.tracer, track_groups=track_groups, tracelog=tracelog,
+            end_time=end, fast_forward=fast_forward,
         )
 
     def export_metrics(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:

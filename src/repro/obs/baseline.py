@@ -43,6 +43,48 @@ DEFAULT_TOLERANCE = 0.25
 #: Prior observations required before a metric can flag at all.
 DEFAULT_MIN_HISTORY = 3
 
+#: History-metric prefix for latency-budget categories (see
+#: :meth:`RegressionSentinel.attribution_diff`).
+BUDGET_METRIC_PREFIX = "budget."
+
+#: Schema stamped into the attribution diff the sentinel emits on a
+#: gated regression.
+SENTINEL_ATTRIBUTION_SCHEMA = "repro-sentinel-attribution-v1"
+
+
+def report_parallel_mode(report: Any) -> Optional[str]:
+    """The engine parallel mode a bench report ran its suites under.
+
+    Wall-clock suite timings measured inline are not comparable to pool
+    timings (pool spin-up, fork overhead), so the sentinel records the
+    mode with each history entry and refuses to baseline across modes.
+    """
+    if not isinstance(report, dict):
+        return None
+    suites = report.get("suites")
+    modes = set()
+    if isinstance(suites, dict):
+        for suite in suites.values():
+            if isinstance(suite, dict) and isinstance(suite.get("parallel_mode"), str):
+                modes.add(suite["parallel_mode"])
+    if modes:
+        return sorted(modes)[0]
+    mode = report.get("parallel_mode")
+    return mode if isinstance(mode, str) else None
+
+
+def budget_history_metrics(budget: Any) -> Dict[str, float]:
+    """Flatten a LatencyBudget's category totals into history metric keys.
+
+    ``budget.<category>_ms`` entries ride each bench history record as
+    extra metrics, giving the sentinel an EWMA baseline *per latency
+    category* — the raw material for :meth:`RegressionSentinel.attribution_diff`.
+    """
+    return {
+        f"{BUDGET_METRIC_PREFIX}{category}_ms": float(ms)
+        for category, ms in budget.category_totals().items()
+    }
+
 
 @dataclass(frozen=True)
 class MetricSpec:
@@ -119,6 +161,10 @@ class SentinelReport:
     verdicts: List[MetricVerdict] = field(default_factory=list)
     history_len: int = 0
     tolerance: float = DEFAULT_TOLERANCE
+    #: History entries ignored because their engine parallel_mode differed
+    #: from the current run's (inline vs pool timings don't compare).
+    skipped_mismatched: int = 0
+    parallel_mode: Optional[str] = None
 
     @property
     def regressions(self) -> List[MetricVerdict]:
@@ -133,6 +179,8 @@ class SentinelReport:
             "ok": self.ok,
             "history_len": self.history_len,
             "tolerance": self.tolerance,
+            "skipped_mismatched": self.skipped_mismatched,
+            "parallel_mode": self.parallel_mode,
             "verdicts": [
                 {
                     "metric": v.metric, "value": v.value, "baseline": v.baseline,
@@ -208,14 +256,19 @@ class RegressionSentinel:
                 metrics[spec.key] = value
         if extra_metrics:
             metrics.update({k: float(v) for k, v in extra_metrics.items()})
+        host: Dict[str, Any] = {"cpu_count": os.cpu_count()}
+        report_host = report.get("host") if isinstance(report, dict) else None
+        if isinstance(report_host, dict) and "available_cpus" in report_host:
+            host["available_cpus"] = report_host["available_cpus"]
         record: Dict[str, Any] = {
             "schema": HISTORY_SCHEMA,
             "kind": kind,
             "metrics": metrics,
-            "host": {
-                "cpu_count": os.cpu_count(),
-            },
+            "host": host,
         }
+        parallel_mode = report_parallel_mode(report)
+        if parallel_mode is not None:
+            record["parallel_mode"] = parallel_mode
         if note:
             record["note"] = note
         directory = os.path.dirname(self.path)
@@ -262,10 +315,29 @@ class RegressionSentinel:
 
     # -- the gate ----------------------------------------------------------
     def check(self, report: Dict[str, Any]) -> SentinelReport:
-        """Judge ``report`` against the EWMA of the recorded history."""
+        """Judge ``report`` against the EWMA of the recorded history.
+
+        History entries recorded under a different engine ``parallel_mode``
+        than the current report's are skipped (and counted on the result):
+        inline and pool wall-clock timings are not comparable baselines.
+        """
         history = self.load()
+        parallel_mode = report_parallel_mode(report)
+        skipped = 0
+        if parallel_mode is not None:
+            kept = []
+            for record in history:
+                mode = record.get("parallel_mode")
+                if isinstance(mode, str) and mode != parallel_mode:
+                    skipped += 1
+                else:
+                    kept.append(record)
+            history = kept
         baselines = self.baselines(history)
-        result = SentinelReport(history_len=len(history), tolerance=self.tolerance)
+        result = SentinelReport(
+            history_len=len(history), tolerance=self.tolerance,
+            skipped_mismatched=skipped, parallel_mode=parallel_mode,
+        )
         for spec in self.metrics:
             value = extract_metric(report, spec.key)
             level, std_error, seen = baselines[spec.key]
@@ -295,3 +367,67 @@ class RegressionSentinel:
                 higher_is_better=spec.higher_is_better, status=status,
             ))
         return result
+
+    # -- regression triage -------------------------------------------------
+    def attribution_diff(
+        self,
+        current: Dict[str, float],
+        history: Optional[List[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """Localize a gated regression to latency-budget categories.
+
+        ``current`` maps ``budget.<category>_ms`` history keys (see
+        :func:`budget_history_metrics`) to this run's totals; each is
+        diffed against its own EWMA over the recorded history, and the
+        dominant positively-shifted category is named — the sentinel's
+        answer to "the bench regressed, *where* did the time go?".
+        """
+        from repro.core.smoothing import ExponentialSmoothing
+
+        if history is None:
+            history = self.load()
+        cells: List[Dict[str, Any]] = []
+        for key in sorted(current):
+            ewma = ExponentialSmoothing(alpha=self.alpha)
+            seen = 0
+            for record in history:
+                value = record["metrics"].get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    ewma.update(float(value))
+                    seen += 1
+            baseline = ewma.predict()
+            value = float(current[key])
+            cells.append({
+                "metric": key,
+                "category": key[len(BUDGET_METRIC_PREFIX):].rsplit("_ms", 1)[0]
+                if key.startswith(BUDGET_METRIC_PREFIX) else key,
+                "baseline_ms": baseline,
+                "value_ms": value,
+                "delta_ms": None if baseline is None else value - baseline,
+                "observations": seen,
+            })
+        regressed = [
+            c for c in cells
+            if c["delta_ms"] is not None and c["delta_ms"] > 0.0
+        ]
+        total = sum(c["delta_ms"] for c in regressed)
+        dominant = None
+        headline = "no budget category regressed against its baseline"
+        if regressed:
+            top = max(regressed, key=lambda c: (c["delta_ms"], c["metric"]))
+            share = top["delta_ms"] / total if total > 0 else 0.0
+            dominant = {
+                "category": top["category"],
+                "delta_ms": top["delta_ms"],
+                "share": share,
+            }
+            headline = (
+                f"budget +{total:.1f} ms vs EWMA, {share:.0%} from "
+                f"{top['category']}"
+            )
+        return {
+            "schema": SENTINEL_ATTRIBUTION_SCHEMA,
+            "cells": cells,
+            "dominant": dominant,
+            "headline": headline,
+        }

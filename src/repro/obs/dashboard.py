@@ -341,6 +341,75 @@ def _flamegraph(aggregate: Dict[str, Any]) -> str:
     )
 
 
+#: Fixed category → color-slot assignment for the budget bars, so the
+#: same category is the same color in every session's bar.
+_BUDGET_SLOTS = {
+    "coherence_copy": 0,
+    "prefetch_penalty": 1,
+    "bus_transfer": 2,
+    "device_compute": 3,
+    "recovery_stall": 7,
+    "sched_slack": 6,
+}
+
+
+def _budget_bars(aggregate: Dict[str, Any]) -> str:
+    """Per-(emulator × app) stacked latency-budget bars.
+
+    Runs executed with attribution mirror their per-(category × device)
+    budget totals into ``budget.ms`` counters (see
+    :func:`repro.experiments.runner.run_app`), so they arrive here through
+    the ordinary fleet rollup — no bespoke plumbing. Sections render only
+    when at least one run attributed.
+    """
+    groups = aggregate.get("groups", {})
+    per_group: Dict[str, Dict[str, float]] = {}
+    for key, group in sorted(groups.items()):
+        by_category: Dict[str, float] = {}
+        for counter in group.get("counters", ()):
+            if counter.get("name") != "budget.ms":
+                continue
+            category = counter.get("labels", {}).get("category", "?")
+            by_category[category] = by_category.get(category, 0.0) \
+                + float(counter.get("value", 0.0))
+        if by_category:
+            per_group[key] = by_category
+    if not per_group:
+        return ""
+    rows: List[str] = []
+    for key, by_category in per_group.items():
+        total = sum(by_category.values())
+        if total <= 0:
+            continue
+        segs = []
+        for category, ms in sorted(by_category.items(),
+                                   key=lambda kv: (-kv[1], kv[0])):
+            slot = _BUDGET_SLOTS.get(category, 4)
+            lite = " lite" if slot in (2, 3, 4) else ""
+            segs.append(
+                f'<div class="seg fill-s{slot}{lite}" '
+                f'style="flex:{ms / total:.6f} 1 0%" '
+                f'title="{_esc(category)}: {ms:,.0f} ms '
+                f'({100 * ms / total:.1f}%)">{_esc(category)}</div>'
+            )
+        rows.append(f'<div class="note">{_esc(key)} '
+                    f"({total:,.0f} ms attributed)</div>"
+                    f'<div class="row">{"".join(segs)}</div>')
+    legend = "".join(
+        f'<span><span class="chip fill-s{slot}"></span>{_esc(category)}</span>'
+        for category, slot in _BUDGET_SLOTS.items()
+    )
+    return (
+        "<h2>Latency budget per session (attribution)</h2>"
+        f'<div class="card flame">{"".join(rows)}'
+        f'<div class="legend">{legend}</div>'
+        '<div class="note">each bar partitions the cell\'s total frame '
+        "latency into attribution categories (conservation: cells sum to "
+        "measured latency; see <code>python -m repro.experiments explain"
+        "</code>)</div></div>"
+    )
+
+
 def _timelines(aggregate: Dict[str, Any]) -> str:
     groups = aggregate.get("groups", {})
     mis_series = []
@@ -519,6 +588,7 @@ def render_dashboard(
         _group_table(aggregate),
         "<h2>Where simulated time goes (self-profile flamegraph)</h2>",
         _flamegraph(aggregate),
+        _budget_bars(aggregate),
         _timelines(aggregate),
         "<h2>Bus utilization matrix</h2>",
         _heatmap(aggregate),

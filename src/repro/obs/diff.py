@@ -1,0 +1,197 @@
+"""Differential trace triage: why is run B slower than run A?
+
+:func:`diff_budgets` aligns two runs' :class:`~repro.obs.critical.LatencyBudget`
+frame-by-frame (matched on frame sequence number — the stable identity a
+frame keeps across emulators and code versions), localizes the latency
+delta to **category × device** cells, and grades the shift with a seeded
+bootstrap significance test, producing headlines like::
+
+    p99 +3.1 ms, 92% from bus_transfer on gpu
+
+The bootstrap resamples matched frame pairs with a ``random.Random``
+seeded from the caller-supplied seed, so the p-value — like everything
+else in this stack — is a pure function of its inputs: the same two
+budgets and the same seed always triage identically.
+"""
+
+from __future__ import annotations
+
+import random
+from math import fsum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.stats import percentile
+from repro.obs.critical import BUDGET_CATEGORIES, FrameBudget, LatencyBudget
+
+#: Bootstrap resamples for the significance test.
+DEFAULT_RESAMPLES = 200
+
+#: One-sided p-value below which a latency shift is called significant.
+SIGNIFICANCE_LEVEL = 0.05
+
+
+def align_frames(
+    base: LatencyBudget, candidate: LatencyBudget
+) -> List[Tuple[FrameBudget, FrameBudget]]:
+    """Pair frames by sequence number, ascending; unmatched frames drop.
+
+    When a sequence number repeats (multi-app runs number frames per
+    producer), occurrences pair up in present order — the k-th frame
+    ``n`` of the base against the k-th frame ``n`` of the candidate.
+    """
+    by_seq: Dict[int, List[FrameBudget]] = {}
+    for frame in candidate.frames:
+        by_seq.setdefault(frame.sequence, []).append(frame)
+    taken: Dict[int, int] = {}
+    pairs: List[Tuple[FrameBudget, FrameBudget]] = []
+    for frame in base.frames:
+        pool = by_seq.get(frame.sequence)
+        index = taken.get(frame.sequence, 0)
+        if pool is None or index >= len(pool):
+            continue
+        pairs.append((frame, pool[index]))
+        taken[frame.sequence] = index + 1
+    return pairs
+
+
+def _cell_totals(frames: List[FrameBudget]) -> Dict[Tuple[str, str], float]:
+    acc: Dict[Tuple[str, str], List[float]] = {}
+    for frame in frames:
+        for cell in frame.cells:
+            acc.setdefault((cell.category, cell.device), []).append(cell.ms)
+    return {key: fsum(values) for key, values in acc.items()}
+
+
+def _bootstrap_p_value(
+    deltas: List[float], seed: int, resamples: int
+) -> Optional[float]:
+    """One-sided bootstrap p-value for "mean per-frame delta > 0".
+
+    Resamples the matched per-frame deltas with replacement and counts
+    how often the resampled mean fails to exceed zero; with fewer than
+    two pairs there is nothing to resample and the answer is None.
+    """
+    n = len(deltas)
+    if n < 2:
+        return None
+    rng = random.Random(f"attrdiff:{seed}")
+    at_or_below = 0
+    for _ in range(resamples):
+        mean = fsum(deltas[rng.randrange(n)] for _ in range(n)) / n
+        if mean <= 0.0:
+            at_or_below += 1
+    return at_or_below / resamples
+
+
+def diff_budgets(
+    base: LatencyBudget,
+    candidate: LatencyBudget,
+    seed: int = 0,
+    resamples: int = DEFAULT_RESAMPLES,
+) -> Dict[str, Any]:
+    """Localize the candidate's latency shift versus the base.
+
+    Returns a JSON-ready dict: per-percentile latency deltas over the
+    matched frames, per-cell (category × device) total deltas, the
+    dominant regressed cell with its share of the total regression, the
+    bootstrap p-value, and a one-line human headline.
+    """
+    pairs = align_frames(base, candidate)
+    base_lat = [a.latency_ms for a, _ in pairs]
+    cand_lat = [b.latency_ms for _, b in pairs]
+    deltas = [b - a for a, b in zip(base_lat, cand_lat)]
+
+    def _pct(values: List[float], q: float) -> Optional[float]:
+        return percentile(values, q, default=None)
+
+    latency: Dict[str, Any] = {}
+    for label, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+        lo, hi = _pct(base_lat, q), _pct(cand_lat, q)
+        latency[label] = {
+            "base_ms": lo,
+            "candidate_ms": hi,
+            "delta_ms": None if lo is None or hi is None else hi - lo,
+        }
+    latency["mean"] = {
+        "base_ms": fsum(base_lat) / len(base_lat) if base_lat else None,
+        "candidate_ms": fsum(cand_lat) / len(cand_lat) if cand_lat else None,
+        "delta_ms": fsum(deltas) / len(deltas) if deltas else None,
+    }
+
+    base_cells = _cell_totals([a for a, _ in pairs])
+    cand_cells = _cell_totals([b for _, b in pairs])
+    cells = []
+    for key in sorted(set(base_cells) | set(cand_cells)):
+        category, device = key
+        lo = base_cells.get(key, 0.0)
+        hi = cand_cells.get(key, 0.0)
+        cells.append({
+            "category": category,
+            "device": device,
+            "base_ms": lo,
+            "candidate_ms": hi,
+            "delta_ms": hi - lo,
+        })
+
+    regressed = [c for c in cells if c["delta_ms"] > 0.0]
+    regression_total = fsum(c["delta_ms"] for c in regressed)
+    dominant = None
+    if regressed:
+        top = max(regressed, key=lambda c: (c["delta_ms"], c["category"], c["device"]))
+        share = top["delta_ms"] / regression_total if regression_total > 0 else 0.0
+        dominant = {
+            "category": top["category"],
+            "device": top["device"],
+            "delta_ms": top["delta_ms"],
+            "share": share,
+        }
+
+    p_value = _bootstrap_p_value(deltas, seed, resamples)
+    significant = p_value is not None and p_value < SIGNIFICANCE_LEVEL
+
+    p99_delta = latency["p99"]["delta_ms"]
+    if not pairs:
+        headline = "no matched frames — runs cannot be compared"
+    elif dominant is None:
+        headline = (
+            f"p99 {p99_delta:+.1f} ms" if p99_delta is not None else "no shift"
+        ) + ", no category regressed"
+    else:
+        shown = p99_delta if p99_delta is not None else dominant["delta_ms"]
+        headline = (
+            f"p99 {shown:+.1f} ms, {dominant['share']:.0%} from "
+            f"{dominant['category']} on {dominant['device']}"
+        )
+        if p_value is not None:
+            verdict = "significant" if significant else "not significant"
+            headline += f" (bootstrap p={p_value:.3f}, {verdict})"
+
+    return {
+        "frames_matched": len(pairs),
+        "frames_base_only": len(base.frames) - len(pairs),
+        "frames_candidate_only": len(candidate.frames) - len(pairs),
+        "latency": latency,
+        "cells": cells,
+        "categories": {
+            category: {
+                "base_ms": fsum(
+                    c["base_ms"] for c in cells if c["category"] == category
+                ),
+                "candidate_ms": fsum(
+                    c["candidate_ms"] for c in cells if c["category"] == category
+                ),
+                "delta_ms": fsum(
+                    c["delta_ms"] for c in cells if c["category"] == category
+                ),
+            }
+            for category in BUDGET_CATEGORIES
+        },
+        "dominant": dominant,
+        "bootstrap": {
+            "seed": seed,
+            "resamples": resamples,
+            "p_value": p_value,
+            "significant": significant,
+        },
+        "headline": headline,
+    }

@@ -158,6 +158,11 @@ class TelemetrySnapshot:
     histograms: Tuple[HistogramSample, ...] = ()
     profile: Optional[ProfileDigest] = None
     trace: Optional[TraceDigest] = None
+    #: Optional per-frame latency attribution (a frozen
+    #: :class:`~repro.obs.critical.LatencyBudget`).  Rides the run cache
+    #: like every other field, so a warm-cache rerun explains its frames
+    #: without re-simulating.
+    attribution: Optional[Any] = None
 
     # -- capture -----------------------------------------------------------
     @classmethod
@@ -167,6 +172,7 @@ class TelemetrySnapshot:
         profiler=None,
         tracer=None,
         meta: Optional[Mapping[str, Any]] = None,
+        attribution: Optional[Any] = None,
     ) -> "TelemetrySnapshot":
         """Freeze the current observability state into a snapshot."""
         counters: List[CounterSample] = []
@@ -207,6 +213,7 @@ class TelemetrySnapshot:
             histograms=tuple(histograms),
             profile=profile,
             trace=digest,
+            attribution=attribution,
         )
 
     # -- identity ----------------------------------------------------------
@@ -261,6 +268,9 @@ class TelemetrySnapshot:
                     for n in self.trace.names
                 ],
             }
+        attribution = getattr(self, "attribution", None)
+        if attribution is not None:
+            out["attribution"] = attribution.to_dict()
         return out
 
 

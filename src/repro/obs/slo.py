@@ -1,0 +1,172 @@
+"""Frame-deadline SLOs with windowed burn-rate accounting.
+
+An :class:`SloSpec` states the promise ("99% of frames present within
+50 ms"); :func:`evaluate_frames` grades one run's per-frame latencies
+against it, and :func:`fleet_burn` rolls per-session grades up to a
+fleet view.  Burn rate is the SRE convention: the rate at which a window
+consumes the error budget, normalized so 1.0 means "exactly on budget" —
+a window with miss rate ``m`` against target ``t`` burns ``m / (1 - t)``.
+Tumbling (non-overlapping) windows keep the accounting deterministic and
+O(frames).
+
+Pure data → data; no clocks, no randomness, nothing to perturb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default present-latency deadline, in ms.  Frame latency is measured
+#: birth → present and healthy pipelines take ~2–3 vsync periods, so the
+#: default promises three 60 Hz periods.
+DEFAULT_DEADLINE_MS = 50.0
+
+#: Default SLO target: fraction of frames that must meet the deadline.
+DEFAULT_TARGET = 0.99
+
+#: Default burn-rate window, in frames (~1 s of 60 Hz playback).
+DEFAULT_WINDOW_FRAMES = 60
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One frame-deadline service-level objective."""
+
+    name: str = "frame-deadline"
+    deadline_ms: float = DEFAULT_DEADLINE_MS
+    target: float = DEFAULT_TARGET
+    window_frames: int = DEFAULT_WINDOW_FRAMES
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.window_frames < 1:
+            raise ValueError(
+                f"window_frames must be >= 1, got {self.window_frames}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "deadline_ms": self.deadline_ms,
+            "target": self.target,
+            "window_frames": self.window_frames,
+        }
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """One latency series graded against one :class:`SloSpec`."""
+
+    spec: SloSpec
+    frames: int
+    misses: int
+    #: Per-window burn rates, in frame order (last window may be partial).
+    burn_rates: Tuple[float, ...] = ()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.frames if self.frames else 0.0
+
+    @property
+    def compliance(self) -> float:
+        return 1.0 - self.miss_rate
+
+    @property
+    def met(self) -> bool:
+        return self.compliance >= self.spec.target
+
+    @property
+    def overall_burn(self) -> float:
+        """Error budget consumed over the whole run, normalized to 1.0."""
+        return self.miss_rate / (1.0 - self.spec.target)
+
+    @property
+    def peak_burn(self) -> float:
+        return max(self.burn_rates, default=0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "frames": self.frames,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "compliance": self.compliance,
+            "met": self.met,
+            "overall_burn": self.overall_burn,
+            "peak_burn": self.peak_burn,
+            "burn_rates": list(self.burn_rates),
+        }
+
+
+def evaluate_frames(
+    latencies: Sequence[float], spec: Optional[SloSpec] = None
+) -> SloReport:
+    """Grade per-frame latencies (ms, frame order) against ``spec``."""
+    spec = spec if spec is not None else SloSpec()
+    misses = 0
+    burns: List[float] = []
+    window_frames = 0
+    window_misses = 0
+    budget = 1.0 - spec.target
+    for latency in latencies:
+        miss = latency > spec.deadline_ms
+        misses += int(miss)
+        window_frames += 1
+        window_misses += int(miss)
+        if window_frames == spec.window_frames:
+            burns.append((window_misses / window_frames) / budget)
+            window_frames = window_misses = 0
+    if window_frames:
+        burns.append((window_misses / window_frames) / budget)
+    return SloReport(
+        spec=spec,
+        frames=len(latencies),
+        misses=misses,
+        burn_rates=tuple(burns),
+    )
+
+
+def fleet_burn(
+    sessions: Mapping[str, Sequence[float]], spec: Optional[SloSpec] = None
+) -> Dict[str, Any]:
+    """Grade many sessions and roll them up into one fleet verdict.
+
+    ``sessions`` maps session/group keys to per-frame latency series.
+    The rollup pools every frame (a fleet SLO is a promise about frames,
+    not about sessions), and also reports the worst per-session burn so
+    a single pathological session cannot hide inside a healthy average.
+    """
+    spec = spec if spec is not None else SloSpec()
+    per_session: Dict[str, SloReport] = {
+        key: evaluate_frames(latencies, spec)
+        for key, latencies in sessions.items()
+    }
+    total_frames = sum(r.frames for r in per_session.values())
+    total_misses = sum(r.misses for r in per_session.values())
+    budget = 1.0 - spec.target
+    fleet_miss_rate = total_misses / total_frames if total_frames else 0.0
+    worst = max(
+        sorted(per_session.items()),
+        key=lambda kv: (kv[1].overall_burn, kv[0]),
+        default=None,
+    )
+    return {
+        "spec": spec.to_dict(),
+        "sessions": {
+            key: per_session[key].to_dict() for key in sorted(per_session)
+        },
+        "fleet": {
+            "frames": total_frames,
+            "misses": total_misses,
+            "miss_rate": fleet_miss_rate,
+            "compliance": 1.0 - fleet_miss_rate,
+            "met": (1.0 - fleet_miss_rate) >= spec.target,
+            "overall_burn": fleet_miss_rate / budget,
+            "worst_session": worst[0] if worst else None,
+            "worst_session_burn": worst[1].overall_burn if worst else 0.0,
+        },
+    }

@@ -272,6 +272,44 @@ def _signature(outcome: Dict[str, Any]) -> Tuple[str, Optional[str]]:
     )
 
 
+def _budget_summary(doc: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Latency-budget summary of one (shrunk) scenario, or None.
+
+    Re-runs the scenario with attribution on but the auditor lenient —
+    the point is to annotate the reproducer with *where the frames'
+    latency went* at the moment of failure, so the engineer replaying it
+    starts with a triage, not a blank trace. Attribution is post-hoc
+    span analysis (digest-identical on/off) and the run is deterministic,
+    so the summary is a pure function of the document. Any failure here
+    degrades to None — annotation must never block a reproducer.
+    """
+    from repro.scenario.runner import run_scenario
+
+    try:
+        result = run_scenario(doc, strict_audit=False, attribution=True)
+        budget = result.budget
+        if budget is None or not budget.frames:
+            return None
+        dominant = budget.dominant_cell()
+        return {
+            "frames": len(budget.frames),
+            "total_latency_ms": budget.total_latency_ms(),
+            "categories": {
+                category: ms
+                for category, ms in budget.category_totals().items()
+                if ms > 0.0
+            },
+            "dominant": None if dominant is None else {
+                "category": dominant[0],
+                "device": dominant[1],
+                "ms": dominant[2],
+            },
+            "conservation_ok": not budget.conservation_errors(),
+        }
+    except Exception:  # noqa: BLE001 — annotation is best-effort
+        return None
+
+
 def run_fuzz(
     max_samples: int = 50,
     seed: int = 0,
@@ -327,12 +365,16 @@ def run_fuzz(
         digest = scenario_digest(shrunk)
         path = Path(out_dir) / f"repro-{digest[:12]}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps({
+        envelope = {
             "scenario": shrunk,
             "finding": outcome,
             "fuzz_seed": sample_seed,
             "scenario_sha256": digest,
-        }, indent=2, sort_keys=True) + "\n")
+        }
+        budget = _budget_summary(shrunk)
+        if budget is not None:
+            envelope["budget"] = budget
+        path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
         findings.append({
             "fuzz_seed": sample_seed,
             "outcome": outcome,

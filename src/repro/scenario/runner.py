@@ -63,6 +63,9 @@ class ScenarioResult:
     injected: Dict[str, int] = field(default_factory=dict)
     thermal_applied: int = 0
     trace: Optional[TraceLog] = None
+    #: LatencyBudget when the run was executed with ``attribution=True``
+    #: (see :mod:`repro.obs.critical`); None otherwise.
+    budget: Optional[Any] = None
 
 
 def app_digest(results: List[AppResult]) -> str:
@@ -94,6 +97,7 @@ def run_scenario(
     strict_audit: bool = False,
     keep_trace: bool = False,
     duration_ms: Optional[float] = None,
+    attribution: bool = False,
 ) -> ScenarioResult:
     """Run one scenario end to end; deterministic per (document, seed).
 
@@ -101,6 +105,11 @@ def run_scenario(
     violated invariant (the fuzzer's failure signal); otherwise violations
     are collected into the result. ``duration_ms`` overrides the
     document's run length (used by the bit-identity tests).
+    ``attribution`` attaches the observability tracer and folds the run's
+    causal spans into a :class:`~repro.obs.critical.LatencyBudget` on
+    ``result.budget`` — pure post-hoc span analysis, so ``digest`` is
+    bit-identical with it on or off (the fuzzer relies on this when it
+    annotates reproducers with budget summaries).
     """
     compiled = (
         scenario
@@ -112,8 +121,21 @@ def run_scenario(
     sim = Simulator()
     machine = build_machine(sim, compiled.machine_spec)
     trace = TraceLog()
+    obs = None
+    if attribution:
+        from repro.obs import Observability
+
+        obs = Observability(sim)
     make = EMULATOR_FACTORIES[compiled.emulator]
-    emulator = make(sim, machine, trace=trace, rng=random.Random(compiled.seed))
+    rng = random.Random(compiled.seed)
+    if obs is not None:
+        try:
+            emulator = make(sim, machine, trace=trace, rng=rng, obs=obs)
+        except TypeError:
+            obs = None  # factory predates the obs= hook; run unobserved
+            emulator = make(sim, machine, trace=trace, rng=rng)
+    else:
+        emulator = make(sim, machine, trace=trace, rng=rng)
 
     injector = FaultInjector(sim, compiled.plan, seed=compiled.seed, trace=trace)
     if not compiled.plan.is_empty():
@@ -147,6 +169,11 @@ def run_scenario(
     resilience = ResilienceStats(trace)
     results = [app.collect(compiled.emulator, horizon) for app in apps]
     report = auditor.report()
+    budget = None
+    if obs is not None:
+        from repro.obs.critical import analyze_tracer
+
+        budget = analyze_tracer(obs.tracer)
     return ScenarioResult(
         name=compiled.name,
         emulator=compiled.emulator,
@@ -167,6 +194,7 @@ def run_scenario(
         injected=injector.stats.as_dict(),
         thermal_applied=thermal_applied,
         trace=trace if keep_trace else None,
+        budget=budget,
     )
 
 

@@ -374,6 +374,8 @@ class FastForwardController:
         self.cycle_multiple: Optional[int] = None
         self.skipped_cycles = 0
         self.skipped_ms = 0.0
+        self.jump_at: Optional[float] = None
+        self.jump_to: Optional[float] = None
         self.disabled_reason: Optional[str] = None
 
     # -- registration ------------------------------------------------------
@@ -517,7 +519,9 @@ class FastForwardController:
     def _jump(self, m: int, n: int, strides: tuple, last_group: tuple) -> None:
         cycle_ms = self.period * m
         dt = cycle_ms * n  # exact: grid multiple times an int
+        self.jump_at = self.sim._now
         self.sim.fast_forward(dt)
+        self.jump_to = self.sim._now
         for c, channel in enumerate(self._channels):
             channel.skip(last_group[c], strides[c], n)
         self.engaged += 1
@@ -533,5 +537,7 @@ class FastForwardController:
             "anchors_seen": self.anchors_seen,
             "skipped_cycles": self.skipped_cycles,
             "skipped_ms": self.skipped_ms,
+            "jump_at": self.jump_at,
+            "jump_to": self.jump_to,
             "disabled_reason": self.disabled_reason,
         }
